@@ -1,0 +1,124 @@
+// Package cbde is class-based delta-encoding: a scalable scheme for caching
+// dynamic web content (Psounis, ICDCS 2002).
+//
+// Delta-encoding makes dynamic documents cachable: server and client share
+// a base-file (an older snapshot) and only the delta between the current
+// snapshot and the base-file crosses the network. The basic scheme needs
+// one base-file per document (per user, when pages are personalized), which
+// does not scale on the server side. Class-based delta-encoding groups
+// similar documents into classes and stores a single base-file per class,
+// exploiting spatial correlation across documents in addition to the
+// temporal correlation within one document. A randomized online algorithm
+// picks each class's base-file, and an anonymization pass strips
+// user-unique byte-chunks so the shared base-file leaks no private data.
+//
+// # Quick start
+//
+//	eng, err := cbde.NewEngine(cbde.Config{})
+//	if err != nil { ... }
+//	resp, err := eng.Process(cbde.Request{
+//		URL:    "www.shop.com/laptops/17",
+//		UserID: "alice",
+//		Doc:    currentSnapshot,
+//	})
+//	// resp.Kind is KindFull until the class's base-file is anonymized and
+//	// the client advertises it; then deltas flow.
+//
+// For the transparent HTTP deployment of the paper's Figure 2, wrap an
+// origin with NewServer and talk to it with NewClient; base-files are
+// served cachable so any proxy (see NewProxyCache) absorbs their
+// distribution.
+//
+// The subsystems are available directly: the Vdelta codec
+// (internal/vdelta), URL partitioning (internal/urlparts), grouping
+// (internal/classify), base-file selection (internal/basefile),
+// anonymization (internal/anonymize), the synthetic workloads
+// (internal/origin, internal/trace), the latency model (internal/netsim),
+// and the paper's experiments (internal/experiments).
+package cbde
+
+import (
+	"cbde/internal/core"
+	"cbde/internal/deltaclient"
+	"cbde/internal/deltaserver"
+	"cbde/internal/proxycache"
+)
+
+// Core engine API (see internal/core).
+type (
+	// Engine implements class-based delta-encoding.
+	Engine = core.Engine
+	// Config parametrizes an Engine.
+	Config = core.Config
+	// Request is one client request plus the current document snapshot.
+	Request = core.Request
+	// Response is the engine's decision: a delta or the full document.
+	Response = core.Response
+	// ResponseKind distinguishes full from delta responses.
+	ResponseKind = core.ResponseKind
+	// HeldBase identifies a base-file a client holds.
+	HeldBase = core.HeldBase
+	// Mode selects class-based operation or a classless baseline.
+	Mode = core.Mode
+	// Stats is an engine counters snapshot.
+	Stats = core.Stats
+)
+
+// Response kinds.
+const (
+	KindFull  = core.KindFull
+	KindDelta = core.KindDelta
+)
+
+// Engine modes.
+const (
+	ModeClassBased       = core.ModeClassBased
+	ModeClassless        = core.ModeClassless
+	ModeClasslessPerUser = core.ModeClasslessPerUser
+)
+
+// NewEngine returns an Engine configured by cfg. The zero Config selects
+// class-based mode with the paper's default parameters.
+func NewEngine(cfg Config) (*Engine, error) { return core.NewEngine(cfg) }
+
+// HTTP deployment API (see internal/deltaserver, internal/deltaclient,
+// internal/proxycache).
+type (
+	// Server is the delta-server: a transparent HTTP front for one origin.
+	Server = deltaserver.Server
+	// ServerOption configures a Server.
+	ServerOption = deltaserver.Option
+	// Client is a delta-capable HTTP client (the browser stand-in).
+	Client = deltaclient.Client
+	// ClientOption configures a Client.
+	ClientOption = deltaclient.Option
+	// ProxyCache is a caching HTTP proxy that absorbs base-file
+	// distribution.
+	ProxyCache = proxycache.Cache
+	// ProxyCacheOption configures a ProxyCache.
+	ProxyCacheOption = proxycache.Option
+)
+
+// NewServer returns a delta-server forwarding to originURL and encoding
+// with engine.
+func NewServer(originURL string, engine *Engine, opts ...ServerOption) (*Server, error) {
+	return deltaserver.New(originURL, engine, opts...)
+}
+
+// NewClient returns a delta-capable client for the given server URL.
+func NewClient(serverURL string, opts ...ClientOption) *Client {
+	return deltaclient.New(serverURL, opts...)
+}
+
+// NewProxyCache returns a caching proxy forwarding misses to nextURL.
+func NewProxyCache(nextURL string, opts ...ProxyCacheOption) (*ProxyCache, error) {
+	return proxycache.New(nextURL, opts...)
+}
+
+// Re-exported server options.
+var (
+	// WithPublicHost pins the server-part used for grouping.
+	WithPublicHost = deltaserver.WithPublicHost
+	// WithUser sets a client's user identity.
+	WithUser = deltaclient.WithUser
+)

@@ -1,0 +1,173 @@
+// Command deltaserver runs the transparent delta-server of Figure 2 in
+// front of an origin web-server.
+//
+// Usage:
+//
+//	deltaserver -addr :8080 -origin http://localhost:8081 -public-host www.site1.com
+//
+// Delta-capable clients (cmd-internal or the deltaclient package) receive
+// gzipped vdelta payloads; everyone else receives documents unchanged.
+// Stats are at /_cbde/stats; class base-files at /_cbde/base/<class>/<v>.
+package main
+
+import (
+	"errors"
+	"flag"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/classify"
+	"cbde/internal/core"
+	"cbde/internal/deltaserver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("deltaserver: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("deltaserver", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		originURL  = fs.String("origin", "http://localhost:8081", "origin web-server URL")
+		publicHost = fs.String("public-host", "", "host used as server-part for grouping (default: request Host)")
+		mode       = fs.String("mode", "class-based", "mode: class-based | classless | classless-per-user")
+
+		maxProbes = fs.Int("probes", 8, "grouping: max candidate classes probed (N)")
+		popular   = fs.Float64("popular-fraction", 0.75, "grouping: fraction of probes on popular classes (a)")
+		threshold = fs.Float64("match-threshold", 0.35, "grouping: max delta/doc ratio for a match")
+
+		sampleProb = fs.Float64("sample-prob", 0.2, "selection: candidate sampling probability (p)")
+		maxSamples = fs.Int("samples", 8, "selection: stored candidates (K)")
+		rebaseTO   = fs.Duration("rebase-timeout", 10*time.Minute, "selection: min interval between group-rebases")
+
+		anonM = fs.Int("anon-m", 2, "anonymization: min distinct users per kept chunk (M); 0 disables privacy")
+		anonN = fs.Int("anon-n", 5, "anonymization: distinct-user comparisons required (N)")
+
+		maxDeltaRatio = fs.Float64("max-delta-ratio", 0.5, "basic-rebase when delta exceeds this fraction of the doc")
+
+		stateFile = fs.String("state", "", "persist engine state to this file (load at start, save on shutdown)")
+		stateSave = fs.Duration("state-save-every", 5*time.Minute, "periodic state-save interval (with -state)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m := core.ModeClassBased
+	switch *mode {
+	case "class-based":
+	case "classless":
+		m = core.ModeClassless
+	case "classless-per-user":
+		m = core.ModeClasslessPerUser
+	default:
+		log.Printf("unknown -mode %q, using class-based", *mode)
+	}
+
+	eng, err := core.NewEngine(core.Config{
+		Mode: m,
+		Classify: classify.Config{
+			MaxProbes:       *maxProbes,
+			PopularFraction: *popular,
+			MatchThreshold:  *threshold,
+		},
+		Selector: basefile.Config{
+			SampleProb:    *sampleProb,
+			MaxSamples:    *maxSamples,
+			RebaseTimeout: *rebaseTO,
+			AsyncSampling: true,
+		},
+		Anon:          anonymize.Config{M: *anonM, N: *anonN},
+		MaxDeltaRatio: *maxDeltaRatio,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *stateFile != "" {
+		if err := loadState(eng, *stateFile); err != nil {
+			return err
+		}
+		go saveStateLoop(eng, *stateFile, *stateSave)
+	}
+
+	var opts []deltaserver.Option
+	if *publicHost != "" {
+		opts = append(opts, deltaserver.WithPublicHost(*publicHost))
+	}
+	srv, err := deltaserver.New(*originURL, eng, opts...)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("deltaserver: %s mode, fronting %s on %s (stats at /_cbde/stats)", m, *originURL, *addr)
+	return http.ListenAndServe(*addr, srv)
+}
+
+// loadState restores persisted engine state, tolerating a missing file
+// (first start).
+func loadState(eng *core.Engine, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		log.Printf("deltaserver: no state file at %s; starting fresh", path)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eng.LoadState(f); err != nil {
+		return err
+	}
+	log.Printf("deltaserver: restored state from %s", path)
+	return nil
+}
+
+// saveStateLoop persists state periodically and on SIGINT/SIGTERM.
+func saveStateLoop(eng *core.Engine, path string, every time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := saveState(eng, path); err != nil {
+				log.Printf("deltaserver: periodic state save: %v", err)
+			}
+		case s := <-sig:
+			if err := saveState(eng, path); err != nil {
+				log.Printf("deltaserver: shutdown state save: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("deltaserver: state saved to %s on %v; exiting", path, s)
+			os.Exit(0)
+		}
+	}
+}
+
+// saveState writes state atomically via a temp file rename.
+func saveState(eng *core.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveState(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

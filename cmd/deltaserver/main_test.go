@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cbde/internal/core"
+)
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+	// A structurally invalid origin URL fails before listening.
+	if err := run([]string{"-origin", "http://", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("expected error for bad origin URL")
+	}
+}
+
+func TestSaveLoadStateHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	eng, err := core.NewEngine(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Missing file is fine on first start.
+	if err := loadState(eng, path); err != nil {
+		t.Fatalf("loadState(missing): %v", err)
+	}
+	if err := saveState(eng, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("state file not written: %v", err)
+	}
+	// A fresh engine loads it back.
+	eng2, err := core.NewEngine(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadState(eng2, path); err != nil {
+		t.Fatalf("loadState(saved): %v", err)
+	}
+	// Corrupt file fails.
+	if err := os.WriteFile(path, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng3, _ := core.NewEngine(core.Config{})
+	if err := loadState(eng3, path); err == nil {
+		t.Error("corrupt state accepted")
+	}
+}

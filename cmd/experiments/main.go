@@ -1,0 +1,186 @@
+// Command experiments regenerates the paper's tables and figures
+// (Section VI) and prints them in the paper's layout. EXPERIMENTS.md is
+// produced from this tool's output.
+//
+// Usage:
+//
+//	experiments -table all -scale 0.1
+//	experiments -table 2   -scale 1      # full Table II (slow)
+//	experiments -table capacity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cbde/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("experiments: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		table = fs.String("table", "all",
+			"which experiment: 2 | 3 | 4 | latency | user-latency | grouping | capacity | perror | privacy | storage | baselines | chunk | probes | selector | eviction | rebase | formats | all")
+		scale  = fs.Float64("scale", 0.1, "trace scale in (0,1] for replay-based experiments")
+		trials = fs.Int("trials", 2000, "Monte-Carlo trials for the Section IV analysis")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"2": func() error {
+			rows, err := experiments.TableII(*scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table II: bandwidth savings (scale %.2f) ==\n%s\n", *scale, experiments.FormatTableII(rows))
+			return nil
+		},
+		"3": func() error {
+			rows := experiments.TableIII(experiments.TableIIIDocs(120), 5, 42)
+			fmt.Printf("== Table III: average delta sizes (bytes) by base-file algorithm ==\n%s\n",
+				experiments.FormatTableIII(rows))
+			return nil
+		},
+		"4": func() error {
+			rows, err := experiments.TableIV(experiments.TableIVLevels)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table IV: anonymization levels ==\n%s\n", experiments.FormatTableIV(rows))
+			return nil
+		},
+		"latency": func() error {
+			fmt.Printf("== Section VI-A: latency ratios (30KB doc vs 1KB delta) ==\n%s\n",
+				experiments.FormatLatency(experiments.LatencyReports(0, 0)))
+			return nil
+		},
+		"grouping": func() error {
+			rows, err := experiments.Grouping(*scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Section VI-B: grouping statistics (scale %.2f) ==\n%s\n",
+				*scale, experiments.FormatGrouping(rows))
+			return nil
+		},
+		"capacity": func() error {
+			res, err := experiments.Capacity(400)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Section VI-C: server capacity ==\n%s\n", experiments.FormatCapacity(res))
+			return nil
+		},
+		"perror": func() error {
+			fmt.Printf("== Section IV: base-file selection error probability ==\n%s\n",
+				experiments.FormatPError(experiments.PErrorTable(*trials)))
+			return nil
+		},
+		"privacy": func() error {
+			fmt.Printf("== Section V: anonymization privacy bounds ==\n%s\n",
+				experiments.FormatPrivacy(experiments.PrivacyTable()))
+			return nil
+		},
+		"storage": func() error {
+			rows, err := experiments.StorageComparison(*scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Ablation: server-side storage by mode (site1, scale %.2f) ==\n%s\n",
+				*scale, experiments.FormatStorage(rows))
+			return nil
+		},
+		"baselines": func() error {
+			rows, err := experiments.Baselines(60)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Related work: transfer sizes by scheme (Section I) ==\n%s\n",
+				experiments.FormatBaselines(rows))
+			return nil
+		},
+		"chunk": func() error {
+			rows, err := experiments.AblateChunkSize(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Ablation: Vdelta chunk size (footnote 2) ==\n%s\n",
+				experiments.FormatChunkSize(rows))
+			return nil
+		},
+		"probes": func() error {
+			rows, err := experiments.AblateProbeBudget(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Ablation: grouping probe budget and hints (Section III) ==\n%s\n",
+				experiments.FormatProbeBudget(rows))
+			return nil
+		},
+		"selector": func() error {
+			fmt.Printf("== Ablation: base-file selection (p, K) sweep (Section IV) ==\n%s\n",
+				experiments.FormatSelectorSweep(experiments.AblateSelector(nil, nil)))
+			return nil
+		},
+		"eviction": func() error {
+			fmt.Printf("== Ablation: eviction policies (footnote 3) ==\n%s\n",
+				experiments.FormatEviction(experiments.AblateEviction()))
+			return nil
+		},
+		"rebase": func() error {
+			rows, err := experiments.AblateRebaseTimeout(nil, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Ablation: group-rebase timeout (site1, scale %.2f) ==\n%s\n",
+				*scale, experiments.FormatRebase(rows))
+			return nil
+		},
+		"formats": func() error {
+			rows, err := experiments.CompareFormats()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Wire formats: vdelta vs RFC 3284 VCDIFF ==\n%s\n",
+				experiments.FormatFormats(rows))
+			return nil
+		},
+		"user-latency": func() error {
+			reports, err := experiments.UserLatency(1, *scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Abstract claim: per-user latency speedup (site1, scale %.2f) ==\n%s\n",
+				*scale, experiments.FormatUserLatency(reports))
+			return nil
+		},
+	}
+
+	if *table != "all" {
+		r, ok := runners[*table]
+		if !ok {
+			return fmt.Errorf("unknown -table %q", *table)
+		}
+		return r()
+	}
+	for _, name := range []string{
+		"2", "3", "4", "latency", "user-latency", "grouping", "capacity",
+		"perror", "privacy", "storage", "baselines", "chunk", "probes",
+		"selector", "eviction", "rebase", "formats",
+	} {
+		if err := runners[name](); err != nil {
+			return fmt.Errorf("table %s: %w", name, err)
+		}
+	}
+	return nil
+}

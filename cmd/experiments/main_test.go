@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestUnknownTable(t *testing.T) {
+	if err := run([]string{"-table", "nope"}); err == nil {
+		t.Error("expected error for unknown table")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestCheapTables(t *testing.T) {
+	for _, table := range []string{"latency", "perror", "privacy"} {
+		if err := run([]string{"-table", table, "-trials", "200"}); err != nil {
+			t.Errorf("table %s: %v", table, err)
+		}
+	}
+}

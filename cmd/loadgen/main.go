@@ -1,0 +1,58 @@
+// Command loadgen drives a running delta-server (or a proxy-cache in front
+// of one) with concurrent delta-capable clients and reports throughput,
+// latency percentiles, and the transfer ledger.
+//
+// Usage:
+//
+//	loadgen -server http://localhost:8080 -paths /laptops/0,/laptops/1 \
+//	        -clients 32 -requests 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cbde/internal/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		server   = fs.String("server", "http://localhost:8080", "delta-server base URL")
+		paths    = fs.String("paths", "/laptops/0", "comma-separated document paths")
+		clients  = fs.Int("clients", 8, "concurrent delta-capable clients")
+		requests = fs.Int("requests", 50, "requests per client")
+		vcdiff   = fs.Bool("vcdiff", false, "request RFC 3284 VCDIFF payloads")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pathList []string
+	for _, p := range strings.Split(*paths, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			pathList = append(pathList, p)
+		}
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		ServerURL:         *server,
+		Paths:             pathList,
+		Clients:           *clients,
+		RequestsPerClient: *requests,
+		VCDIFF:            *vcdiff,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	return nil
+}

@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+	if err := run([]string{"-paths", " , "}); err == nil {
+		t.Error("expected error for empty path list")
+	}
+}

@@ -1,0 +1,127 @@
+// Command origind serves a synthetic dynamic web-site: the workload
+// generator standing in for the paper's commercial origin servers.
+//
+// Usage:
+//
+//	origind -addr :8081 -host www.site1.com -style path -depts laptops:50,desktops:50 \
+//	        -personalized -tick-every 10s
+//
+// Documents change every tick (temporal churn) and carry per-user private
+// blocks when -personalized is set.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cbde/internal/origin"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("origind: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("origind", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8081", "listen address")
+		host          = fs.String("host", "www.site1.com", "site host (server-part)")
+		style         = fs.String("style", "path", "URL style: path | query | segments")
+		depts         = fs.String("depts", "laptops:50,desktops:50", "departments as name:items,...")
+		templateBytes = fs.Int("template-bytes", 36000, "shared per-department template size")
+		itemBytes     = fs.Int("item-bytes", 4000, "per-item content size")
+		churnBytes    = fs.Int("churn-bytes", 1500, "per-tick changing content size")
+		personalized  = fs.Bool("personalized", false, "add per-user private blocks")
+		workFactor    = fs.Duration("work-factor", 0, "simulated per-request application work")
+		tickEvery     = fs.Duration("tick-every", 0, "advance content every interval (0 = never)")
+		seed          = fs.Uint64("seed", 1, "content seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	st, err := parseStyle(*style)
+	if err != nil {
+		return err
+	}
+	ds, err := parseDepts(*depts)
+	if err != nil {
+		return err
+	}
+
+	site := origin.NewSite(origin.Config{
+		Host:          *host,
+		Style:         st,
+		Depts:         ds,
+		TemplateBytes: *templateBytes,
+		ItemBytes:     *itemBytes,
+		ChurnBytes:    *churnBytes,
+		Personalized:  *personalized,
+		WorkFactor:    *workFactor,
+		Seed:          *seed,
+	})
+
+	if *tickEvery > 0 {
+		go func() {
+			for range time.Tick(*tickEvery) {
+				site.Advance(1)
+			}
+		}()
+	}
+
+	log.Printf("origind: serving %s (%s) on %s; example URL: http://localhost%s/%s",
+		*host, st, *addr, *addr, exampleURL(st, ds[0].Name))
+	return http.ListenAndServe(*addr, site.Handler())
+}
+
+func parseStyle(s string) (origin.URLStyle, error) {
+	switch s {
+	case "path":
+		return origin.StylePathHint, nil
+	case "query":
+		return origin.StyleQueryHint, nil
+	case "segments":
+		return origin.StylePathSegments, nil
+	default:
+		return 0, fmt.Errorf("unknown -style %q (want path, query or segments)", s)
+	}
+}
+
+func parseDepts(s string) ([]origin.Dept, error) {
+	var out []origin.Dept
+	for _, part := range strings.Split(s, ",") {
+		name, items, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad department %q (want name:items)", part)
+		}
+		n, err := strconv.Atoi(items)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad item count in %q", part)
+		}
+		out = append(out, origin.Dept{Name: name, Items: n})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no departments given")
+	}
+	return out, nil
+}
+
+func exampleURL(st origin.URLStyle, dept string) string {
+	switch st {
+	case origin.StylePathHint:
+		return dept + "?id=0"
+	case origin.StyleQueryHint:
+		return "?dept=" + dept + "&id=0"
+	default:
+		return dept + "/0"
+	}
+}

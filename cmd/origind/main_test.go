@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"cbde/internal/origin"
+)
+
+func TestParseStyle(t *testing.T) {
+	tests := map[string]origin.URLStyle{
+		"path":     origin.StylePathHint,
+		"query":    origin.StyleQueryHint,
+		"segments": origin.StylePathSegments,
+	}
+	for in, want := range tests {
+		got, err := parseStyle(in)
+		if err != nil || got != want {
+			t.Errorf("parseStyle(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseStyle("bogus"); err == nil {
+		t.Error("expected error for unknown style")
+	}
+}
+
+func TestParseDepts(t *testing.T) {
+	got, err := parseDepts("laptops:50, desktops:25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "laptops" || got[0].Items != 50 || got[1].Items != 25 {
+		t.Errorf("parseDepts = %+v", got)
+	}
+	for _, bad := range []string{"", "noitems", "x:", "x:abc", "x:-3", ":5"} {
+		if _, err := parseDepts(bad); err == nil {
+			t.Errorf("parseDepts(%q): expected error", bad)
+		}
+	}
+}
+
+func TestExampleURL(t *testing.T) {
+	tests := map[origin.URLStyle]string{
+		origin.StylePathHint:     "laptops?id=0",
+		origin.StyleQueryHint:    "?dept=laptops&id=0",
+		origin.StylePathSegments: "laptops/0",
+	}
+	for style, want := range tests {
+		if got := exampleURL(style, "laptops"); got != want {
+			t.Errorf("exampleURL(%v) = %q, want %q", style, got, want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-style", "bogus"}); err == nil {
+		t.Error("expected error for bad style")
+	}
+	if err := run([]string{"-depts", "broken"}); err == nil {
+		t.Error("expected error for bad depts")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}

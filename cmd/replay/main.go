@@ -1,0 +1,76 @@
+// Command replay runs a calibrated site workload through the engine and
+// prints the Table II-style accounting for one mode — the core measurement
+// loop of the paper's evaluation.
+//
+// Usage:
+//
+//	replay -site 1 -scale 0.1 -mode class-based
+//	replay -site 1 -scale 0.1 -mode classless-per-user   # the storage blow-up
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cbde/internal/core"
+	"cbde/internal/experiments"
+	"cbde/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	var (
+		siteIdx = fs.Int("site", 1, "calibrated site to replay (1, 2 or 3)")
+		scale   = fs.Float64("scale", 0.1, "request-count scale in (0,1]")
+		mode    = fs.String("mode", "class-based", "class-based | classless | classless-per-user")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *siteIdx < 1 || *siteIdx > 3 {
+		return fmt.Errorf("-site must be 1, 2 or 3 (got %d)", *siteIdx)
+	}
+	m := core.ModeClassBased
+	switch *mode {
+	case "class-based":
+	case "classless":
+		m = core.ModeClassless
+	case "classless-per-user":
+		m = core.ModeClasslessPerUser
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	sw := trace.PaperSites(*scale)[*siteIdx-1]
+	res, err := experiments.Replay(sw, m)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("site            %s (%s), mode %s\n", res.Label, sw.Site.Host(), res.Mode)
+	fmt.Printf("requests        %d\n", res.Requests)
+	fmt.Printf("direct KB       %.0f\n", float64(res.DirectBytes)/1024)
+	fmt.Printf("delta KB        %.0f (deltas %.0f + fulls %.0f)\n",
+		float64(res.DeltaBytes+res.FullBytes)/1024,
+		float64(res.DeltaBytes)/1024, float64(res.FullBytes)/1024)
+	fmt.Printf("savings         %.1f%% (%.1f%% charging base distribution)\n",
+		res.Savings()*100, res.SavingsWithBases()*100)
+	fmt.Printf("responses       %d deltas, %d fulls\n", res.DeltaResponses, res.FullResponses)
+	fmt.Printf("base-files      %.0f KB to clients, %.0f KB from server (proxy-cached)\n",
+		float64(res.BaseBytesClients)/1024, float64(res.BaseBytesServer)/1024)
+	fmt.Printf("classes         %d for %d distinct documents\n", res.Classes, res.DistinctDocs)
+	fmt.Printf("server storage  %.0f KB\n", float64(res.StorageBytes)/1024)
+	fmt.Printf("rebases         %d group, %d basic\n", res.GroupRebases, res.BasicRebases)
+	if res.ProbesPerURL > 0 {
+		fmt.Printf("grouping        %.2f probes per URL\n", res.ProbesPerURL)
+	}
+	return nil
+}

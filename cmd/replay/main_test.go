@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-site", "9"}); err == nil {
+		t.Error("expected error for out-of-range site")
+	}
+	if err := run([]string{"-mode", "bogus"}); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestTinyReplay(t *testing.T) {
+	if err := run([]string{"-site", "2", "-scale", "0.01", "-mode", "classless"}); err != nil {
+		t.Fatal(err)
+	}
+}

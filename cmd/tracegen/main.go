@@ -1,0 +1,57 @@
+// Command tracegen writes synthetic access-logs in Common Log Format: the
+// stand-in for the three commercial site traces of Table II.
+//
+// Usage:
+//
+//	tracegen -site 1 -scale 0.1 -out site1.log
+//	tracegen -site 2              # full-size site2 trace to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cbde/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("tracegen: %v", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		siteIdx = fs.Int("site", 1, "calibrated site to generate (1, 2 or 3)")
+		scale   = fs.Float64("scale", 1, "request-count scale in (0,1]")
+		out     = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *siteIdx < 1 || *siteIdx > 3 {
+		return fmt.Errorf("-site must be 1, 2 or 3 (got %d)", *siteIdx)
+	}
+
+	sw := trace.PaperSites(*scale)[*siteIdx-1]
+	reqs := trace.Generate(sw.Site, sw.Load)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteLog(w, reqs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests for %s (%s)\n",
+		len(reqs), sw.Label, sw.Site.Host())
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cbde/internal/trace"
+)
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-site", "0"}); err == nil {
+		t.Error("expected error for out-of-range site")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestWritesParseableLog(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.log")
+	if err := run([]string{"-site", "2", "-scale", "0.02", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reqs, err := trace.ReadLog(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 29 { // 1476 * 0.02
+		t.Errorf("got %d requests, want 29", len(reqs))
+	}
+}

@@ -1,0 +1,98 @@
+// Quickstart: the delta codec and the class-based engine in a few lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cbde"
+	"cbde/internal/vdelta"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. The Vdelta codec: encode today's snapshot against yesterday's.
+	yesterday := []byte(strings.Repeat("<item>widget, in stock, $19.99</item>\n", 100) +
+		"<footer>updated Thursday</footer>")
+	today := []byte(strings.Repeat("<item>widget, in stock, $19.99</item>\n", 100) +
+		"<banner>SALE: widgets $17.99 today only!</banner>\n" +
+		"<footer>updated Friday</footer>")
+
+	delta, err := vdelta.Encode(yesterday, today)
+	if err != nil {
+		return err
+	}
+	restored, err := vdelta.Decode(yesterday, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("codec:  %d-byte document -> %d-byte delta (restored ok: %v)\n",
+		len(today), len(delta), string(restored) == string(today))
+
+	// 2. The engine: group documents into classes, share one base-file.
+	eng, err := cbde.NewEngine(cbde.Config{})
+	if err != nil {
+		return err
+	}
+
+	// A storefront where laptop pages share a template. Users browse;
+	// the engine groups pages, selects a base-file, anonymizes it, then
+	// serves deltas to clients that hold it.
+	render := func(item int, user string) []byte {
+		return []byte(strings.Repeat("shared laptop-department template and navigation\n", 80) +
+			fmt.Sprintf("<item id=%d>laptop model %d</item>\n<account>user %s</account>\n",
+				item, 1000+item, user))
+	}
+
+	// Warm up with several distinct users (anonymization needs them).
+	var classID string
+	var version int
+	for i := 0; i < 8; i++ {
+		resp, err := eng.Process(cbde.Request{
+			URL:    fmt.Sprintf("www.shop.example/laptops/%d", i%3),
+			UserID: fmt.Sprintf("visitor-%d", i),
+			Doc:    render(i%3, fmt.Sprintf("visitor-%d", i)),
+		})
+		if err != nil {
+			return err
+		}
+		classID, version = resp.ClassID, resp.LatestVersion
+	}
+	fmt.Printf("engine: grouped into class %q, base-file v%d distributed\n", classID, version)
+
+	// A returning client holds the class base-file and gets a delta.
+	doc := render(2, "alice")
+	resp, err := eng.Process(cbde.Request{
+		URL:    "www.shop.example/laptops/2",
+		UserID: "alice",
+		Doc:    doc,
+		Held:   []cbde.HeldBase{{ClassID: classID, Version: version}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine: %v response, %d bytes on the wire for a %d-byte document\n",
+		resp.Kind, resp.WireSize(len(doc)), len(doc))
+
+	// The client combines base + delta to reconstruct the page.
+	base, _ := eng.BaseFile(classID, resp.BaseVersion)
+	page, err := eng.Decode(base, resp.Payload, resp.Gzipped)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client: reconstructed %d bytes, byte-identical: %v\n",
+		len(page), string(page) == string(doc))
+
+	st := eng.Stats()
+	fmt.Printf("stats:  %d requests, %d deltas, %.0f%% bandwidth saved\n",
+		st.Requests, st.DeltaResponses, st.Savings()*100)
+	return nil
+}

@@ -1,0 +1,3 @@
+module cbde
+
+go 1.23

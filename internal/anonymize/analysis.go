@@ -1,0 +1,64 @@
+package anonymize
+
+import "math"
+
+// PrivacyBoundIID evaluates the paper's upper bound on the probability that
+// private information survives anonymization when each of the N compared
+// documents independently shares the private data with probability p
+// (Section V):
+//
+//	P_error <= (N*e/M)^M * p^M
+//
+// For p=0.01, N=10, M=5 the bound is about 4.7e-7. The result is capped at
+// 1.
+func PrivacyBoundIID(n, m int, p float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	b := math.Pow(float64(n)*math.E/float64(m), float64(m)) * math.Pow(p, float64(m))
+	return math.Min(1, b)
+}
+
+// PrivacyExact computes the exact probability P(X >= M) for X binomial with
+// parameters N and p: the probability that at least M of the N compared
+// documents share the private information, so that the M-threshold fails to
+// remove it. For p=0.01, N=10, M=5 this is about 2.4e-8.
+func PrivacyExact(n, m int, p float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	if m > n {
+		return 0
+	}
+	total := 0.0
+	for i := m; i <= n; i++ {
+		total += math.Exp(logBinomial(n, i)) * math.Pow(p, float64(i)) * math.Pow(1-p, float64(n-i))
+	}
+	return math.Min(1, total)
+}
+
+// PrivacyBoundDecaying evaluates the bound under the more realistic model in
+// which the probability of the j-th document sharing the private data decays
+// as p_j = p^j (repeat sharing is ever less likely):
+//
+//	P_error <= (N*e/M)^M * p^(M(M+1)/2)
+func PrivacyBoundDecaying(n, m int, p float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	exp := float64(m*(m+1)) / 2
+	b := math.Pow(float64(n)*math.E/float64(m), float64(m)) * math.Pow(p, exp)
+	return math.Min(1, b)
+}
+
+func logBinomial(n, k int) float64 {
+	return logFact(n) - logFact(k) - logFact(n-k)
+}
+
+func logFact(n int) float64 {
+	total := 0.0
+	for i := 2; i <= n; i++ {
+		total += math.Log(float64(i))
+	}
+	return total
+}

@@ -1,0 +1,105 @@
+package basefile
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// PErrorBound evaluates the paper's upper bound on the probability that the
+// randomized algorithm discards the best base-file candidate over the whole
+// request sequence (Section IV):
+//
+//	P_error <= (N - K) / ((ln N)^(K-1) * (K-1)!)
+//
+// where N is the expected number of base-file candidates (R*p) and K the
+// number of stored documents. For the paper's example (R=1e5, p=1e-2, K=10,
+// so N=1000) the bound evaluates to about 8e-11. The result is capped at 1:
+// for small K the expression exceeds 1 and carries no information.
+func PErrorBound(n, k int) float64 {
+	if k <= 1 || n <= k {
+		return 1
+	}
+	logN := math.Log(float64(n))
+	// (ln N)^(K-1) * (K-1)! computed in log space to avoid overflow.
+	logDenom := float64(k-1)*math.Log(logN) + logFactorial(k-1)
+	return math.Min(1, float64(n-k)*math.Exp(-logDenom))
+}
+
+// PErrorAtEviction evaluates the per-eviction error bound c^(K-1)/(K-1)!
+// with c = 1/ln(N-1): the probability that a single eviction discards the
+// globally best candidate.
+func PErrorAtEviction(n, k int) float64 {
+	if k <= 1 || n <= 2 {
+		return 1
+	}
+	c := 1 / math.Log(float64(n-1))
+	return math.Exp(float64(k-1)*math.Log(c) - logFactorial(k-1))
+}
+
+func logFactorial(n int) float64 {
+	total := 0.0
+	for i := 2; i <= n; i++ {
+		total += math.Log(float64(i))
+	}
+	return total
+}
+
+// SimulateSelectionError runs a Monte-Carlo simulation of the abstract
+// eviction model behind the Section IV analysis and returns the fraction of
+// trials in which the best candidate was evicted at least once.
+//
+// The model: N candidates arrive in random order, indexed by true quality
+// (candidate 1 is globally best). K are stored. At each eviction the
+// algorithm discards the stored candidate it believes is worst; its belief
+// inverts the true order of two candidates i1 < i2 with probability
+// c/|i1-i2| where c normalizes sum_{i=1..N-1} 1/i to one, exactly as the
+// paper assumes. The returned rate can be compared against PErrorBound.
+func SimulateSelectionError(n, k, trials int, seed uint64) float64 {
+	if n <= k || k < 2 || trials <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xDA3E39CB94B95BDB))
+
+	// Normalizing constant c * sum 1/i = 1.
+	harm := 0.0
+	for i := 1; i <= n-1; i++ {
+		harm += 1 / float64(i)
+	}
+	c := 1 / harm
+
+	errors := 0
+	for t := 0; t < trials; t++ {
+		order := rng.Perm(n) // arrival order of candidate ranks (0 = best)
+		stored := make([]int, 0, k+1)
+		bestEvicted := false
+		for _, rank := range order {
+			stored = append(stored, rank)
+			if len(stored) <= k {
+				continue
+			}
+			// The algorithm evicts what it believes is worst. Beliefs can
+			// swap adjacent-quality candidates with probability c/|i1-i2|.
+			perceivedWorst := 0
+			for i := 1; i < len(stored); i++ {
+				a, b := stored[perceivedWorst], stored[i]
+				hi, lo := a, b
+				if hi < lo {
+					hi, lo = lo, hi
+				}
+				trueCmp := b > a // b truly worse than a
+				flip := rng.Float64() < c/float64(hi-lo)
+				if trueCmp != flip {
+					perceivedWorst = i
+				}
+			}
+			if stored[perceivedWorst] == 0 {
+				bestEvicted = true
+			}
+			stored = append(stored[:perceivedWorst], stored[perceivedWorst+1:]...)
+		}
+		if bestEvicted {
+			errors++
+		}
+	}
+	return float64(errors) / float64(trials)
+}

@@ -1,0 +1,461 @@
+// Package basefile implements the online base-file selection algorithm of
+// Section IV, its baselines, and the error-probability analysis.
+//
+// For each class the selector watches the stream of documents and maintains
+// up to K sampled candidates (each request is sampled with probability p).
+// The candidate that minimizes the sum of deltas against the other stored
+// documents is the preferred base-file. A group-rebase installs it once the
+// rebase-timeout since the previous rebase has expired; a basic-rebase is
+// triggered externally when served deltas become relatively large, and
+// flushes all stored samples.
+//
+// Two eviction refinements from footnote 3 are provided: periodically
+// evicting a random stored document instead of the worst one, and the
+// two-set variant that scores candidates against an independent reference
+// set of random samples.
+package basefile
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"cbde/internal/vdelta"
+)
+
+// EvictionPolicy selects which stored document leaves when the sample store
+// is full (Section IV, footnote 3).
+type EvictionPolicy int
+
+const (
+	// EvictWorst always evicts the stored document that maximizes the sum
+	// of deltas (the worst base-file candidate). This is the basic scheme.
+	EvictWorst EvictionPolicy = iota + 1
+	// EvictPeriodicRandom behaves like EvictWorst but, at periodic
+	// intervals, evicts a random stored document (excluding the current
+	// base-file) to avoid storing K documents that are close to each other
+	// but far from most class members.
+	EvictPeriodicRandom
+	// EvictTwoSet maintains two sets of K documents: base-file candidates
+	// and an independent reference set that deltas are computed against.
+	// The worst candidate and a random reference are evicted.
+	EvictTwoSet
+)
+
+// String implements fmt.Stringer.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictWorst:
+		return "worst"
+	case EvictPeriodicRandom:
+		return "periodic-random"
+	case EvictTwoSet:
+		return "two-set"
+	default:
+		return fmt.Sprintf("EvictionPolicy(%d)", int(p))
+	}
+}
+
+// DeltaSizeFunc measures the size, in bytes, of the delta that transforms
+// base into doc. The selector only compares these values, so a cheap
+// estimate (the light Vdelta variant) works well.
+type DeltaSizeFunc func(base, doc []byte) int
+
+// Config parametrizes a Selector. The zero value is usable: defaults match
+// the paper's experiments (p=0.2, K=8).
+type Config struct {
+	// SampleProb is p, the probability that a request's document becomes a
+	// base-file candidate. Default 0.2 (the value used for Table III).
+	// A negative value disables sampling entirely, degenerating the
+	// selector to the first-response scheme plus basic-rebases — the
+	// classless baseline uses this.
+	SampleProb float64
+	// MaxSamples is K, the maximum number of stored documents. Default 8.
+	MaxSamples int
+	// RebaseTimeout is the minimum interval between group-rebases. A
+	// better candidate only takes over once this has expired. Default 0
+	// (rebase whenever a better candidate exists).
+	RebaseTimeout time.Duration
+	// Eviction selects the eviction refinement. Default EvictWorst.
+	Eviction EvictionPolicy
+	// RandomEvictEvery applies to EvictPeriodicRandom: every n-th eviction
+	// removes a random document instead of the worst. Default 4.
+	RandomEvictEvery int
+	// DeltaSize measures candidate quality. Default: the light Vdelta
+	// estimator (vdelta.Estimator with default settings).
+	DeltaSize DeltaSizeFunc
+	// AsyncSampling moves candidate admission (the 2K delta computations
+	// per sample) off the calling goroutine, as the paper prescribes:
+	// "this calculation can be done offline" (Section IV). Observe then
+	// reports Sampled but admission outcomes (evictions, group-rebases)
+	// surface on later calls. Use Quiesce in tests to drain pending work.
+	AsyncSampling bool
+	// Seed seeds the sampling RNG, for reproducible experiments.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	switch {
+	case c.SampleProb < 0:
+		c.SampleProb = 0
+	case c.SampleProb == 0 || c.SampleProb > 1:
+		c.SampleProb = 0.2
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 8
+	}
+	if c.Eviction == 0 {
+		c.Eviction = EvictWorst
+	}
+	if c.RandomEvictEvery <= 0 {
+		c.RandomEvictEvery = 4
+	}
+	if c.DeltaSize == nil {
+		est := vdelta.NewEstimator()
+		c.DeltaSize = func(base, doc []byte) int { return est.Estimate(base, doc) }
+	}
+	return c
+}
+
+// Event reports what a call to Observe did.
+type Event struct {
+	Sampled     bool // the document was stored as a base-file candidate
+	Evicted     bool // a stored document was evicted to make room
+	GroupRebase bool // the base-file changed to a better stored candidate
+	Initialized bool // this document became the very first base-file
+}
+
+// Strategy is the interface shared by the randomized selector and the
+// baseline algorithms compared in Table III.
+type Strategy interface {
+	// Observe feeds the document served for a request into the strategy.
+	Observe(doc []byte, now time.Time) Event
+	// Base returns the current base-file and its version. The version
+	// increments on every rebase; version 0 means no base yet.
+	Base() ([]byte, int)
+}
+
+// sample is a stored base-file candidate plus its deltas against the
+// reference documents (for EvictTwoSet the reference set; otherwise the
+// other stored candidates).
+type sample struct {
+	doc []byte
+	tag string // opaque caller tag (e.g. the requesting user), for anonymization
+}
+
+// Selector implements the randomized online algorithm of Section IV.
+// It is safe for concurrent use.
+type Selector struct {
+	cfg Config
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	base        []byte
+	baseTag     string
+	version     int
+	lastRebase  time.Time
+	hasRebased  bool
+	evictions   int
+	candidates  []sample
+	refs        []sample // EvictTwoSet only
+	dists       [][]int  // dists[i][j] = DeltaSize(candidates[i].doc, refDoc(j))
+	samplesSeen int64
+	observed    int64
+	pending     sync.WaitGroup // outstanding async admissions
+}
+
+var _ Strategy = (*Selector)(nil)
+
+// NewSelector returns a Selector with cfg applied over the defaults.
+func NewSelector(cfg Config) *Selector {
+	cfg = cfg.withDefaults()
+	return &Selector{
+		cfg: cfg,
+		rng: rand.New(rand.NewPCG(cfg.Seed, 0x9E3779B97F4A7C15)),
+	}
+}
+
+// utility returns the local utility of candidate i: the sum of deltas
+// between it and every reference document (Section IV). Lower is better.
+func (s *Selector) utility(i int) int {
+	total := 0
+	for _, d := range s.dists[i] {
+		total += d
+	}
+	return total
+}
+
+// Observe implements Strategy.
+func (s *Selector) Observe(doc []byte, now time.Time) Event {
+	return s.ObserveTagged(doc, "", now)
+}
+
+// ObserveTagged is Observe with an opaque tag attached to the document
+// (typically the requesting user). The tag of the document that becomes the
+// base-file is available via BaseTag, which the anonymization process uses
+// to exclude the base-file owner's own documents (footnote 5).
+func (s *Selector) ObserveTagged(doc []byte, tag string, now time.Time) Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var ev Event
+	s.observed++
+
+	if s.version == 0 {
+		// The first response bootstraps the base-file so delta-encoding can
+		// start immediately; the randomized algorithm improves on it later.
+		s.base = cloneBytes(doc)
+		s.baseTag = tag
+		s.version = 1
+		s.lastRebase = now
+		ev.Initialized = true
+	}
+
+	if s.cfg.SampleProb <= 0 || s.rng.Float64() >= s.cfg.SampleProb {
+		s.maybeGroupRebase(now, &ev)
+		return ev
+	}
+	ev.Sampled = true
+	s.samplesSeen++
+	docCopy := cloneBytes(doc)
+	if s.cfg.AsyncSampling {
+		s.pending.Add(1)
+		go func() {
+			defer s.pending.Done()
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var async Event
+			s.admit(docCopy, tag, &async)
+			s.maybeGroupRebase(now, &async)
+		}()
+		return ev
+	}
+	s.admit(docCopy, tag, &ev)
+	s.maybeGroupRebase(now, &ev)
+	return ev
+}
+
+// Quiesce blocks until all asynchronous sample admissions have completed.
+// It is a no-op for synchronous selectors.
+func (s *Selector) Quiesce() {
+	s.pending.Wait()
+}
+
+// admit stores doc as a candidate (and, for the two-set variant, as a
+// reference sample), evicting per policy when full.
+func (s *Selector) admit(doc []byte, tag string, ev *Event) {
+	K := s.cfg.MaxSamples
+
+	if s.cfg.Eviction == EvictTwoSet {
+		// New sample joins both sets.
+		s.refs = append(s.refs, sample{doc: doc, tag: tag})
+		for i := range s.candidates {
+			s.dists[i] = append(s.dists[i], s.cfg.DeltaSize(s.candidates[i].doc, doc))
+		}
+		s.candidates = append(s.candidates, sample{doc: doc, tag: tag})
+		row := make([]int, len(s.refs))
+		for j := range s.refs {
+			row[j] = s.cfg.DeltaSize(doc, s.refs[j].doc)
+		}
+		s.dists = append(s.dists, row)
+
+		if len(s.refs) > K {
+			// Evict a random reference sample.
+			j := s.rng.IntN(len(s.refs))
+			s.refs = append(s.refs[:j], s.refs[j+1:]...)
+			for i := range s.dists {
+				s.dists[i] = append(s.dists[i][:j], s.dists[i][j+1:]...)
+			}
+		}
+		if len(s.candidates) > K {
+			s.evictCandidate(s.worstCandidate())
+			ev.Evicted = true
+		}
+		return
+	}
+
+	// Single-set variants: references are the candidates themselves.
+	for i := range s.candidates {
+		s.dists[i] = append(s.dists[i], s.cfg.DeltaSize(s.candidates[i].doc, doc))
+	}
+	s.candidates = append(s.candidates, sample{doc: doc, tag: tag})
+	row := make([]int, len(s.candidates))
+	for j := range s.candidates[:len(s.candidates)-1] {
+		row[j] = s.cfg.DeltaSize(doc, s.candidates[j].doc)
+	}
+	row[len(row)-1] = 0 // delta to itself
+	s.dists = append(s.dists, row)
+
+	if len(s.candidates) <= K {
+		return
+	}
+	s.evictions++
+	victim := s.worstCandidate()
+	if s.cfg.Eviction == EvictPeriodicRandom && s.evictions%s.cfg.RandomEvictEvery == 0 {
+		victim = s.randomNonBaseCandidate()
+	}
+	s.evictCandidate(victim)
+	ev.Evicted = true
+}
+
+// worstCandidate returns the index of the stored candidate with the maximum
+// sum of deltas.
+func (s *Selector) worstCandidate() int {
+	worst, worstU := 0, -1
+	for i := range s.candidates {
+		if u := s.utility(i); u > worstU {
+			worst, worstU = i, u
+		}
+	}
+	return worst
+}
+
+// randomNonBaseCandidate picks a random candidate that is not the current
+// base-file (footnote 3). Falls back to the worst candidate when every
+// stored document equals the base.
+func (s *Selector) randomNonBaseCandidate() int {
+	eligible := make([]int, 0, len(s.candidates))
+	for i := range s.candidates {
+		if !bytesEqual(s.candidates[i].doc, s.base) {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return s.worstCandidate()
+	}
+	return eligible[s.rng.IntN(len(eligible))]
+}
+
+func (s *Selector) evictCandidate(i int) {
+	s.candidates = append(s.candidates[:i], s.candidates[i+1:]...)
+	s.dists = append(s.dists[:i], s.dists[i+1:]...)
+	if s.cfg.Eviction != EvictTwoSet {
+		// The candidate was also a reference: drop its column.
+		for r := range s.dists {
+			s.dists[r] = append(s.dists[r][:i], s.dists[r][i+1:]...)
+		}
+	}
+}
+
+// bestCandidate returns the index of the candidate minimizing the sum of
+// deltas, or -1 if none are stored.
+func (s *Selector) bestCandidate() int {
+	best, bestU := -1, 0
+	for i := range s.candidates {
+		if u := s.utility(i); best == -1 || u < bestU {
+			best, bestU = i, u
+		}
+	}
+	return best
+}
+
+// maybeGroupRebase installs the best stored candidate as the base-file when
+// it differs from the current base and the rebase-timeout has expired.
+func (s *Selector) maybeGroupRebase(now time.Time, ev *Event) {
+	best := s.bestCandidate()
+	if best < 0 {
+		return
+	}
+	if bytesEqual(s.candidates[best].doc, s.base) {
+		return
+	}
+	if s.hasRebased && now.Sub(s.lastRebase) < s.cfg.RebaseTimeout {
+		return
+	}
+	s.base = cloneBytes(s.candidates[best].doc)
+	s.baseTag = s.candidates[best].tag
+	s.version++
+	s.lastRebase = now
+	s.hasRebased = true
+	ev.GroupRebase = true
+}
+
+// Base implements Strategy.
+func (s *Selector) Base() ([]byte, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.base, s.version
+}
+
+// BaseTag returns the tag that was attached (via ObserveTagged or
+// BasicRebase) to the document currently serving as the base-file.
+func (s *Selector) BaseTag() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseTag
+}
+
+// BasicRebase installs doc as the new base-file and flushes all stored
+// samples. The engine calls this when generated deltas become relatively
+// large (the paper's basic-rebase, orthogonal to group-rebases). tag is
+// attached to the new base as in ObserveTagged.
+func (s *Selector) BasicRebase(doc []byte, tag string, now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base = cloneBytes(doc)
+	s.baseTag = tag
+	s.version++
+	s.lastRebase = now
+	s.hasRebased = true
+	s.candidates = nil
+	s.refs = nil
+	s.dists = nil
+	return s.version
+}
+
+// Stats reports internal counters for experiments and debugging.
+type Stats struct {
+	Observed    int64 // documents fed to Observe
+	Sampled     int64 // documents stored as candidates
+	Stored      int   // candidates currently stored
+	StoredBytes int   // total bytes of stored candidate documents
+	Version     int   // current base-file version
+}
+
+// Stats returns a snapshot of the selector's counters.
+func (s *Selector) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bytes := 0
+	for i := range s.candidates {
+		bytes += len(s.candidates[i].doc)
+	}
+	if s.cfg.Eviction == EvictTwoSet {
+		for i := range s.refs {
+			bytes += len(s.refs[i].doc)
+		}
+	}
+	return Stats{
+		Observed:    s.observed,
+		Sampled:     s.samplesSeen,
+		Stored:      len(s.candidates),
+		StoredBytes: bytes,
+		Version:     s.version,
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func bytesEqual(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// Restore installs a persisted base-file and version counter into a fresh
+// selector, so rebase numbering continues where a previous process left
+// off. Stored candidate samples are deliberately not restored; they re-warm
+// from live traffic.
+func (s *Selector) Restore(base []byte, tag string, version int, lastRebase time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.base = cloneBytes(base)
+	s.baseTag = tag
+	if version > s.version {
+		s.version = version
+	}
+	s.lastRebase = lastRebase
+	s.hasRebased = version > 1
+}

@@ -1,0 +1,44 @@
+package basefile_test
+
+import (
+	"fmt"
+	"time"
+
+	"cbde/internal/basefile"
+)
+
+func ExampleSelector() {
+	s := basefile.NewSelector(basefile.Config{
+		SampleProb: 1, // sample everything, for a deterministic example
+		MaxSamples: 4,
+		Seed:       1,
+	})
+	now := time.Unix(0, 0)
+
+	// The class sees one outlier and then a family of similar documents.
+	docs := [][]byte{
+		[]byte("an unusual error page unlike the others at all whatsoever!!"),
+		[]byte("catalog page for item 1: shared layout, shared navigation aa"),
+		[]byte("catalog page for item 2: shared layout, shared navigation bb"),
+		[]byte("catalog page for item 3: shared layout, shared navigation cc"),
+		[]byte("catalog page for item 4: shared layout, shared navigation dd"),
+	}
+	for _, d := range docs {
+		s.Observe(d, now)
+		now = now.Add(time.Minute)
+	}
+	base, version := s.Base()
+	fmt.Println("rebased past the outlier:", version > 1)
+	fmt.Println("base is a catalog page:", string(base[:7]) == "catalog")
+	// Output:
+	// rebased past the outlier: true
+	// base is a catalog page: true
+}
+
+func ExamplePErrorBound() {
+	// The paper's example: R=1e5 requests sampled at p=1e-2 gives N=1000
+	// candidates; with K=10 stored documents the probability of ever
+	// discarding the best candidate is vanishing.
+	fmt.Printf("%.1e\n", basefile.PErrorBound(1000, 10))
+	// Output: 7.6e-11
+}

@@ -1,0 +1,471 @@
+// Package classify implements the mechanism of Section III that groups
+// URL-requests (and hence documents) into classes.
+//
+// A class is "good" for a document when the delta between the document and
+// the class's base-file is small. Because an exhaustive search over all
+// classes is impracticable, the manager uses the URL partition of package
+// urlparts as a search hint and the paper's heuristics:
+//
+//   - a new class is created when no class shares the request's server-part;
+//   - classes sharing the request's hint-part are considered first;
+//   - at most N candidate classes are probed; failing that, a new class is
+//     created;
+//   - the first a*N probes go to the most popular eligible classes, the
+//     remaining (1-a)*N to random selections among the rest;
+//   - probes use the light delta estimator rather than a full delta.
+//
+// Administrators may also group URLs manually (for sites organized in an
+// ad-hoc manner) via ManualRule.
+package classify
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"regexp"
+	"sort"
+	"sync"
+
+	"cbde/internal/urlparts"
+	"cbde/internal/vdelta"
+)
+
+// EstimateFunc estimates the delta size, in bytes, between a class's
+// base-file and a document.
+type EstimateFunc func(base, doc []byte) int
+
+// Config parametrizes a Manager. The zero value is usable; defaults follow
+// the paper ("typical N values are less than 10").
+type Config struct {
+	// MaxProbes is N, the maximum number of candidate classes probed for a
+	// request before a new class is created. Default 8.
+	MaxProbes int
+	// PopularFraction is a: the fraction of the N probes spent on the most
+	// popular eligible classes; the rest are random selections among the
+	// remaining eligible classes. Default 0.75.
+	PopularFraction float64
+	// MatchThreshold is the maximum estimated-delta-to-document-size ratio
+	// for a probe to count as a matching. Default 0.35.
+	MatchThreshold float64
+	// AbsoluteThreshold, when positive, additionally accepts any probe
+	// whose estimated delta is at most this many bytes. Default 0 (off).
+	AbsoluteThreshold int
+	// BestOfN, when true, probes all N candidates and picks the best
+	// matching instead of stopping at the first (footnote 1 prefers
+	// first-match to reduce search time, which is the default).
+	BestOfN bool
+	// Estimate measures probe quality. Default: the light Vdelta estimator.
+	Estimate EstimateFunc
+	// Seed seeds the RNG used for random candidate selection.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxProbes <= 0 {
+		c.MaxProbes = 8
+	}
+	if c.PopularFraction <= 0 || c.PopularFraction > 1 {
+		c.PopularFraction = 0.75
+	}
+	if c.MatchThreshold <= 0 || c.MatchThreshold > 1 {
+		c.MatchThreshold = 0.35
+	}
+	if c.Estimate == nil {
+		est := vdelta.NewEstimator()
+		c.Estimate = func(base, doc []byte) int { return est.Estimate(base, doc) }
+	}
+	return c
+}
+
+// Class is a group of similar documents sharing one base-file.
+type Class struct {
+	ID     string
+	Server string
+	Hint   string
+
+	mu        sync.Mutex
+	members   int
+	matchBase []byte
+}
+
+// Members returns the number of distinct URLs grouped into the class — its
+// popularity for probe ordering.
+func (c *Class) Members() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.members
+}
+
+// MatchBase returns the document probes are estimated against (the class's
+// current base-file).
+func (c *Class) MatchBase() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.matchBase
+}
+
+// SetMatchBase replaces the document probes are estimated against. The core
+// engine calls this when the class's base-file is rebased.
+func (c *Class) SetMatchBase(base []byte) {
+	b := make([]byte, len(base))
+	copy(b, base)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.matchBase = b
+}
+
+func (c *Class) addMember() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members++
+}
+
+// Result describes the outcome of grouping one request.
+type Result struct {
+	Class    *Class
+	Created  bool // a new class was created for the request
+	Known    bool // the URL had already been grouped; no probing happened
+	Manual   bool // a manual rule determined the class
+	Probes   int  // candidate classes probed
+	Estimate int  // estimated delta against the matched class (0 if Created or Known)
+}
+
+// manualRule routes URLs matching a pattern to a fixed class.
+type manualRule struct {
+	re      *regexp.Regexp
+	classID string
+}
+
+// serverClasses indexes the classes of one server-part.
+type serverClasses struct {
+	classes []*Class
+	byHint  map[string][]*Class
+}
+
+// Manager groups requests into classes. It is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	servers map[string]*serverClasses
+	byURL   map[string]*Class
+	byID    map[string]*Class
+	manual  []manualRule
+	nextSeq int
+
+	probesTotal   int64
+	groupsFormed  int64
+	urlsGrouped   int64
+	manualMatches int64
+}
+
+// NewManager returns a Manager with cfg applied over the defaults.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, 0xC2B2AE3D27D4EB4F)),
+		servers: make(map[string]*serverClasses),
+		byURL:   make(map[string]*Class),
+		byID:    make(map[string]*Class),
+	}
+}
+
+// ManualRule routes URLs matching pattern (a regular expression applied to
+// the full URL) to the class with the given ID, creating the class under
+// server/hint if it does not exist yet. Manual rules take precedence over
+// automated grouping.
+func (m *Manager) ManualRule(pattern, classID, server, hint string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("classify: compile manual rule: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[classID]; !ok {
+		m.newClassLocked(classID, server, hint)
+	}
+	m.manual = append(m.manual, manualRule{re: re, classID: classID})
+	return nil
+}
+
+// newClassLocked creates and indexes a class. Callers hold m.mu.
+func (m *Manager) newClassLocked(id, server, hint string) *Class {
+	cl := &Class{ID: id, Server: server, Hint: hint}
+	m.byID[id] = cl
+	sc, ok := m.servers[server]
+	if !ok {
+		sc = &serverClasses{byHint: make(map[string][]*Class)}
+		m.servers[server] = sc
+	}
+	sc.classes = append(sc.classes, cl)
+	sc.byHint[hint] = append(sc.byHint[hint], cl)
+	m.groupsFormed++
+	return cl
+}
+
+// Group assigns the request identified by url (with partition parts and
+// current document doc) to a class, creating one if necessary. A URL that
+// has been grouped before goes straight to its class.
+func (m *Manager) Group(url string, parts urlparts.Parts, doc []byte) Result {
+	m.mu.Lock()
+
+	if cl, ok := m.byURL[url]; ok {
+		m.mu.Unlock()
+		return Result{Class: cl, Known: true}
+	}
+
+	// Manual rules take precedence over the automated mechanism.
+	for _, rule := range m.manual {
+		if rule.re.MatchString(url) {
+			cl := m.byID[rule.classID]
+			m.byURL[url] = cl
+			m.urlsGrouped++
+			m.manualMatches++
+			m.mu.Unlock()
+			cl.addMember()
+			return Result{Class: cl, Manual: true}
+		}
+	}
+
+	candidates := m.candidatesLocked(parts)
+	m.mu.Unlock()
+
+	// Probe candidates without holding the manager lock: estimates are the
+	// expensive part and MatchBase is safe to read concurrently.
+	probes := 0
+	var matched *Class
+	matchedEst := 0
+	for _, cl := range candidates {
+		base := cl.MatchBase()
+		if len(base) == 0 {
+			continue
+		}
+		probes++
+		est := m.cfg.Estimate(base, doc)
+		if m.isMatch(est, len(doc)) {
+			if !m.cfg.BestOfN {
+				matched, matchedEst = cl, est
+				break
+			}
+			if matched == nil || est < matchedEst {
+				matched, matchedEst = cl, est
+			}
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.probesTotal += int64(probes)
+
+	// Re-check: another goroutine may have grouped the same URL meanwhile.
+	if cl, ok := m.byURL[url]; ok {
+		return Result{Class: cl, Known: true}
+	}
+
+	if matched != nil {
+		m.byURL[url] = matched
+		m.urlsGrouped++
+		matched.addMember()
+		return Result{Class: matched, Probes: probes, Estimate: matchedEst}
+	}
+
+	m.nextSeq++
+	id := fmt.Sprintf("%s/%s#%d", parts.Server, parts.Hint, m.nextSeq)
+	cl := m.newClassLocked(id, parts.Server, parts.Hint)
+	cl.SetMatchBase(doc)
+	cl.addMember()
+	m.byURL[url] = cl
+	m.urlsGrouped++
+	return Result{Class: cl, Created: true, Probes: probes}
+}
+
+// isMatch applies the matching threshold(s).
+func (m *Manager) isMatch(estimate, docLen int) bool {
+	if m.cfg.AbsoluteThreshold > 0 && estimate <= m.cfg.AbsoluteThreshold {
+		return true
+	}
+	if docLen == 0 {
+		return estimate == 0
+	}
+	return float64(estimate) <= m.cfg.MatchThreshold*float64(docLen)
+}
+
+// candidatesLocked returns up to N candidate classes for the request, in
+// probe order. Callers hold m.mu.
+func (m *Manager) candidatesLocked(parts urlparts.Parts) []*Class {
+	sc, ok := m.servers[parts.Server]
+	if !ok || len(sc.classes) == 0 {
+		// No class shares the server-part: documents from different
+		// servers are very unlikely to be close (Section III).
+		return nil
+	}
+	eligible := sc.classes
+	if hinted := sc.byHint[parts.Hint]; len(hinted) > 0 {
+		// Classes sharing the hint-part are the only ones considered.
+		eligible = hinted
+	}
+
+	n := m.cfg.MaxProbes
+	if n > len(eligible) {
+		n = len(eligible)
+	}
+	popularN := int(m.cfg.PopularFraction*float64(m.cfg.MaxProbes) + 0.5)
+	if popularN > n {
+		popularN = n
+	}
+
+	// Most popular classes first.
+	sorted := make([]*Class, len(eligible))
+	copy(sorted, eligible)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Members() > sorted[j].Members()
+	})
+	out := make([]*Class, 0, n)
+	out = append(out, sorted[:popularN]...)
+
+	// Random selections among the rest fill the remaining probes.
+	rest := sorted[popularN:]
+	for _, idx := range m.rng.Perm(len(rest)) {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, rest[idx])
+	}
+	return out
+}
+
+// ClassFor returns the class previously assigned to url, if any.
+func (m *Manager) ClassFor(url string) (*Class, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cl, ok := m.byURL[url]
+	return cl, ok
+}
+
+// ClassByID returns the class with the given ID, if it exists.
+func (m *Manager) ClassByID(id string) (*Class, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cl, ok := m.byID[id]
+	return cl, ok
+}
+
+// Classes returns a snapshot of all classes.
+func (m *Manager) Classes() []*Class {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Class, 0, len(m.byID))
+	for _, cl := range m.byID {
+		out = append(out, cl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats summarizes grouping activity.
+type Stats struct {
+	Classes       int     // classes formed
+	URLs          int     // distinct URLs grouped
+	ProbesTotal   int64   // total candidate probes across all groupings
+	ProbesPerURL  float64 // average probes per newly grouped URL
+	ManualMatches int64   // URLs grouped by manual rules
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{
+		Classes:       len(m.byID),
+		URLs:          len(m.byURL),
+		ProbesTotal:   m.probesTotal,
+		ManualMatches: m.manualMatches,
+	}
+	if m.urlsGrouped > 0 {
+		s.ProbesPerURL = float64(m.probesTotal) / float64(m.urlsGrouped)
+	}
+	return s
+}
+
+// ExportedClass is the serializable form of one class.
+type ExportedClass struct {
+	ID        string `json:"id"`
+	Server    string `json:"server"`
+	Hint      string `json:"hint"`
+	Members   int    `json:"members"`
+	MatchBase []byte `json:"matchBase,omitempty"`
+}
+
+// Exported is the serializable form of a Manager: every class, the
+// URL-to-class assignments, and the class-naming counter. Manual rules are
+// configuration, not state, and are re-registered by the operator.
+type Exported struct {
+	Classes []ExportedClass   `json:"classes"`
+	URLs    map[string]string `json:"urls"`
+	NextSeq int               `json:"nextSeq"`
+}
+
+// Export returns a snapshot of the manager's state for persistence.
+func (m *Manager) Export() Exported {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ex := Exported{
+		URLs:    make(map[string]string, len(m.byURL)),
+		NextSeq: m.nextSeq,
+	}
+	ids := make([]string, 0, len(m.byID))
+	for id := range m.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cl := m.byID[id]
+		cl.mu.Lock()
+		ex.Classes = append(ex.Classes, ExportedClass{
+			ID:        cl.ID,
+			Server:    cl.Server,
+			Hint:      cl.Hint,
+			Members:   cl.members,
+			MatchBase: append([]byte(nil), cl.matchBase...),
+		})
+		cl.mu.Unlock()
+	}
+	for url, cl := range m.byURL {
+		ex.URLs[url] = cl.ID
+	}
+	return ex
+}
+
+// Import restores a previously Exported snapshot into an empty manager.
+// It fails if the manager has already formed classes, or if the snapshot
+// references unknown classes.
+func (m *Manager) Import(ex Exported) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.byID) != 0 {
+		return fmt.Errorf("classify: import into a non-empty manager (%d classes)", len(m.byID))
+	}
+	for _, ec := range ex.Classes {
+		if ec.ID == "" {
+			return fmt.Errorf("classify: import: class with empty ID")
+		}
+		cl := m.newClassLocked(ec.ID, ec.Server, ec.Hint)
+		cl.mu.Lock()
+		cl.members = ec.Members
+		cl.matchBase = append([]byte(nil), ec.MatchBase...)
+		cl.mu.Unlock()
+	}
+	m.groupsFormed = 0 // imported classes are not "formed" by this run
+	for url, id := range ex.URLs {
+		cl, ok := m.byID[id]
+		if !ok {
+			return fmt.Errorf("classify: import: URL %q references unknown class %q", url, id)
+		}
+		m.byURL[url] = cl
+	}
+	if ex.NextSeq > m.nextSeq {
+		m.nextSeq = ex.NextSeq
+	}
+	return nil
+}

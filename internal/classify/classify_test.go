@@ -1,0 +1,345 @@
+package classify
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"testing"
+
+	"cbde/internal/urlparts"
+)
+
+// deptDoc builds a document for a department: documents within a department
+// share a large template; departments differ completely.
+func deptDoc(dept string, item int) []byte {
+	tpl := strings.Repeat(fmt.Sprintf("<%s-template> shared layout and navigation for %s </%s-template>\n", dept, dept, dept), 40)
+	return []byte(tpl + fmt.Sprintf("<item id=%d dept=%s>specific description %d</item>", item, dept, item*7919))
+}
+
+func mustParts(t *testing.T, url string) urlparts.Parts {
+	t.Helper()
+	p, err := urlparts.Partition(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFirstRequestCreatesClass(t *testing.T) {
+	m := NewManager(Config{})
+	doc := deptDoc("laptops", 1)
+	res := m.Group("www.foo.com/laptops/1", mustParts(t, "www.foo.com/laptops/1"), doc)
+	if !res.Created {
+		t.Fatal("first request should create a class")
+	}
+	if res.Class.Server != "www.foo.com" || res.Class.Hint != "laptops" {
+		t.Errorf("class server/hint = %s/%s", res.Class.Server, res.Class.Hint)
+	}
+	if got := m.Stats().Classes; got != 1 {
+		t.Errorf("classes = %d, want 1", got)
+	}
+}
+
+func TestSimilarDocumentsJoinSameClass(t *testing.T) {
+	m := NewManager(Config{})
+	var first *Class
+	for i := 1; i <= 20; i++ {
+		url := fmt.Sprintf("www.foo.com/laptops/%d", i)
+		res := m.Group(url, mustParts(t, url), deptDoc("laptops", i))
+		if first == nil {
+			first = res.Class
+			continue
+		}
+		if res.Class != first {
+			t.Fatalf("item %d landed in class %s, want %s", i, res.Class.ID, first.ID)
+		}
+		if res.Created {
+			t.Fatalf("item %d created a new class", i)
+		}
+	}
+	if got := m.Stats().Classes; got != 1 {
+		t.Errorf("classes = %d, want 1 for 20 similar docs", got)
+	}
+}
+
+func TestDissimilarDepartmentsGetOwnClasses(t *testing.T) {
+	m := NewManager(Config{})
+	for i := 1; i <= 5; i++ {
+		for _, dept := range []string{"laptops", "desktops"} {
+			url := fmt.Sprintf("www.foo.com/%s/%d", dept, i)
+			m.Group(url, mustParts(t, url), deptDoc(dept, i))
+		}
+	}
+	if got := m.Stats().Classes; got != 2 {
+		t.Errorf("classes = %d, want 2 (one per department)", got)
+	}
+}
+
+func TestDifferentServersNeverShareClasses(t *testing.T) {
+	m := NewManager(Config{})
+	doc := deptDoc("laptops", 1)
+	r1 := m.Group("www.foo.com/laptops/1", mustParts(t, "www.foo.com/laptops/1"), doc)
+	r2 := m.Group("www.bar.com/laptops/1", mustParts(t, "www.bar.com/laptops/1"), doc)
+	if !r2.Created {
+		t.Error("identical doc from a different server must create a new class")
+	}
+	if r1.Class == r2.Class {
+		t.Error("classes shared across servers")
+	}
+	if r2.Probes != 0 {
+		t.Errorf("probes = %d for a new server, want 0", r2.Probes)
+	}
+}
+
+func TestKnownURLSkipsProbing(t *testing.T) {
+	m := NewManager(Config{})
+	url := "www.foo.com/laptops/1"
+	doc := deptDoc("laptops", 1)
+	m.Group(url, mustParts(t, url), doc)
+	res := m.Group(url, mustParts(t, url), doc)
+	if !res.Known {
+		t.Error("second request for the same URL should be Known")
+	}
+	if res.Probes != 0 {
+		t.Errorf("probes = %d for a known URL, want 0", res.Probes)
+	}
+}
+
+func TestProbesNeverExceedN(t *testing.T) {
+	const maxProbes = 3
+	m := NewManager(Config{MaxProbes: maxProbes, MatchThreshold: 0.01})
+	// Force many dissimilar classes under the same hint so probing is
+	// exhausted without a match.
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 30; i++ {
+		doc := make([]byte, 3000)
+		for j := range doc {
+			doc[j] = byte(rng.IntN(256))
+		}
+		url := fmt.Sprintf("www.foo.com/misc/%d", i)
+		res := m.Group(url, mustParts(t, url), doc)
+		if res.Probes > maxProbes {
+			t.Fatalf("request %d probed %d classes, want <= %d", i, res.Probes, maxProbes)
+		}
+		if i > 0 && !res.Created {
+			t.Fatalf("random doc %d matched a class with a strict threshold", i)
+		}
+	}
+}
+
+func TestHintRestrictsCandidates(t *testing.T) {
+	// Build many classes under hint "noise"; then group a document whose
+	// hint matches exactly one class. Only the hinted class may be probed.
+	m := NewManager(Config{MaxProbes: 2, MatchThreshold: 0.5})
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 20; i++ {
+		doc := make([]byte, 2000)
+		for j := range doc {
+			doc[j] = byte(rng.IntN(256))
+		}
+		url := fmt.Sprintf("www.foo.com/noise/%d", i)
+		m.Group(url, mustParts(t, url), doc)
+	}
+	m.Group("www.foo.com/laptops/1", mustParts(t, "www.foo.com/laptops/1"), deptDoc("laptops", 1))
+
+	res := m.Group("www.foo.com/laptops/2", mustParts(t, "www.foo.com/laptops/2"), deptDoc("laptops", 2))
+	if res.Created {
+		t.Error("hinted class not found despite matching content")
+	}
+	if res.Class.Hint != "laptops" {
+		t.Errorf("matched class hint = %q, want laptops", res.Class.Hint)
+	}
+	if res.Probes != 1 {
+		t.Errorf("probes = %d, want 1 (hint restricts candidates)", res.Probes)
+	}
+}
+
+func TestGroupingTakesACoupleOfTries(t *testing.T) {
+	// Paper (VI-B): against a well-structured web-site the mechanism groups
+	// requests after a couple of tries. Average probes per URL must be low.
+	m := NewManager(Config{})
+	depts := []string{"laptops", "desktops", "servers", "tablets"}
+	for i := 1; i <= 25; i++ {
+		for _, d := range depts {
+			url := fmt.Sprintf("www.shop.com/%s/%d", d, i)
+			m.Group(url, mustParts(t, url), deptDoc(d, i))
+		}
+	}
+	st := m.Stats()
+	if st.Classes != len(depts) {
+		t.Errorf("classes = %d, want %d", st.Classes, len(depts))
+	}
+	if st.ProbesPerURL > 2.0 {
+		t.Errorf("avg probes per URL = %.2f, want <= 2 for a well-structured site", st.ProbesPerURL)
+	}
+}
+
+func TestManualRule(t *testing.T) {
+	m := NewManager(Config{})
+	if err := m.ManualRule(`^www\.adhoc\.com/x`, "adhoc-class", "www.adhoc.com", "manual"); err != nil {
+		t.Fatal(err)
+	}
+	res := m.Group("www.adhoc.com/x123", mustParts(t, "www.adhoc.com/x123"), []byte("anything"))
+	if !res.Manual || res.Class.ID != "adhoc-class" {
+		t.Errorf("manual rule not applied: %+v", res)
+	}
+	// Non-matching URL falls through to automated grouping.
+	res = m.Group("www.adhoc.com/y1", mustParts(t, "www.adhoc.com/y1"), []byte("anything else at all here"))
+	if res.Manual {
+		t.Error("manual rule applied to non-matching URL")
+	}
+	if got := m.Stats().ManualMatches; got != 1 {
+		t.Errorf("ManualMatches = %d, want 1", got)
+	}
+}
+
+func TestManualRuleBadPattern(t *testing.T) {
+	m := NewManager(Config{})
+	if err := m.ManualRule(`([`, "c", "s", "h"); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestBestOfN(t *testing.T) {
+	// Two pre-built classes both match within a generous threshold; BestOfN
+	// must pick the closer one even though the far class is more popular
+	// (and therefore probed first).
+	m := NewManager(Config{MaxProbes: 8, MatchThreshold: 0.95, BestOfN: true})
+	near := deptDoc("laptops", 1)
+	// The far base shares only half the template, so deltas against it are
+	// larger but still within the threshold.
+	farBase := append([]byte{}, near[:len(near)/2]...)
+	farBase = append(farBase, []byte(strings.Repeat("zz-filler ", 150))...)
+
+	if err := m.ManualRule(`^\$far\$`, "class-far", "www.foo.com", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ManualRule(`^\$near\$`, "class-near", "www.foo.com", "a"); err != nil {
+		t.Fatal(err)
+	}
+	clFar, _ := m.ClassByID("class-far")
+	clFar.SetMatchBase(farBase)
+	clNear, _ := m.ClassByID("class-near")
+	clNear.SetMatchBase(near)
+
+	res := m.Group("www.foo.com/a/3", mustParts(t, "www.foo.com/a/3"), deptDoc("laptops", 2))
+	if res.Created {
+		t.Fatal("request matched neither pre-built class")
+	}
+	if res.Class.ID != "class-near" {
+		t.Errorf("BestOfN picked %s, want class-near", res.Class.ID)
+	}
+	if res.Probes != 2 {
+		t.Errorf("probes = %d, want 2 (BestOfN probes all candidates)", res.Probes)
+	}
+}
+
+func TestSetMatchBase(t *testing.T) {
+	m := NewManager(Config{})
+	res := m.Group("www.foo.com/l/1", mustParts(t, "www.foo.com/l/1"), deptDoc("laptops", 1))
+	nb := []byte("rebased base-file")
+	res.Class.SetMatchBase(nb)
+	got := res.Class.MatchBase()
+	if string(got) != string(nb) {
+		t.Error("SetMatchBase did not take effect")
+	}
+	nb[0] = 'X'
+	if res.Class.MatchBase()[0] == 'X' {
+		t.Error("SetMatchBase retained the caller's slice")
+	}
+}
+
+func TestClassByIDAndClassFor(t *testing.T) {
+	m := NewManager(Config{})
+	res := m.Group("www.foo.com/l/1", mustParts(t, "www.foo.com/l/1"), deptDoc("laptops", 1))
+	if cl, ok := m.ClassByID(res.Class.ID); !ok || cl != res.Class {
+		t.Error("ClassByID lookup failed")
+	}
+	if _, ok := m.ClassByID("nope"); ok {
+		t.Error("ClassByID returned a class for an unknown ID")
+	}
+	if cl, ok := m.ClassFor("www.foo.com/l/1"); !ok || cl != res.Class {
+		t.Error("ClassFor lookup failed")
+	}
+	if _, ok := m.ClassFor("www.foo.com/unseen"); ok {
+		t.Error("ClassFor returned a class for an unseen URL")
+	}
+	if got := len(m.Classes()); got != 1 {
+		t.Errorf("Classes() returned %d, want 1", got)
+	}
+}
+
+func TestClassesCompression(t *testing.T) {
+	// Paper (VI-B): the number of produced groups is 10-100x smaller than
+	// the number of dynamic documents. With per-item URLs and shared
+	// templates we reproduce that compression.
+	m := NewManager(Config{})
+	depts := []string{"laptops", "desktops", "phones"}
+	urls := 0
+	for i := 1; i <= 100; i++ {
+		for _, d := range depts {
+			url := fmt.Sprintf("www.shop.com/%s/%d", d, i)
+			m.Group(url, mustParts(t, url), deptDoc(d, i))
+			urls++
+		}
+	}
+	st := m.Stats()
+	ratio := float64(st.URLs) / float64(st.Classes)
+	if ratio < 10 {
+		t.Errorf("URLs/classes = %.1f, want >= 10 (paper reports 10-100x)", ratio)
+	}
+}
+
+func TestConcurrentGrouping(t *testing.T) {
+	m := NewManager(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				dept := []string{"laptops", "desktops"}[i%2]
+				url := fmt.Sprintf("www.foo.com/%s/%d", dept, i)
+				p, err := urlparts.Partition(url)
+				if err != nil {
+					t.Errorf("Partition: %v", err)
+					return
+				}
+				m.Group(url, p, deptDoc(dept, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := m.Stats()
+	if st.URLs != 40 { // workers share the same 40 URLs
+		t.Errorf("URLs = %d, want 40", st.URLs)
+	}
+	// Concurrency may create a few duplicate classes in races, but the
+	// count must stay near 2, far below the URL count.
+	if st.Classes > 10 {
+		t.Errorf("classes = %d after concurrent grouping, want close to 2", st.Classes)
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	m := NewManager(Config{})
+	res := m.Group("www.foo.com/e/1", mustParts(t, "www.foo.com/e/1"), nil)
+	if res.Class == nil {
+		t.Fatal("empty document must still be grouped")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxProbes != 8 || c.PopularFraction != 0.75 || c.MatchThreshold != 0.35 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.Estimate == nil {
+		t.Error("default Estimate is nil")
+	}
+	c = Config{MaxProbes: -1, PopularFraction: 7, MatchThreshold: 9}.withDefaults()
+	if c.MaxProbes != 8 || c.PopularFraction != 0.75 || c.MatchThreshold != 0.35 {
+		t.Errorf("invalid values not defaulted: %+v", c)
+	}
+}

@@ -1,0 +1,42 @@
+package classify_test
+
+import (
+	"fmt"
+	"strings"
+
+	"cbde/internal/classify"
+	"cbde/internal/urlparts"
+)
+
+func ExampleManager() {
+	m := classify.NewManager(classify.Config{})
+
+	page := func(dept string, item int) []byte {
+		// Pages within a department share their (department-specific)
+		// template; across departments the content differs.
+		return []byte(strings.Repeat(dept+"-"+dept+"-section ", 60) +
+			fmt.Sprintf("item %d", item))
+	}
+	group := func(url string, doc []byte) classify.Result {
+		parts, err := urlparts.Partition(url)
+		if err != nil {
+			panic(err)
+		}
+		return m.Group(url, parts, doc)
+	}
+
+	// Three laptop pages share a template; one desktop page does not.
+	r1 := group("www.foo.com/laptops/1", page("laptops", 1))
+	r2 := group("www.foo.com/laptops/2", page("laptops", 2))
+	r3 := group("www.foo.com/laptops/3", page("laptops", 3))
+	r4 := group("www.foo.com/desktops/1", page("desktops", 1))
+
+	fmt.Println("laptops share a class:", r2.Class == r1.Class && r3.Class == r1.Class)
+	fmt.Println("desktops get their own:", r4.Class != r1.Class)
+	st := m.Stats()
+	fmt.Printf("%d classes for %d URLs\n", st.Classes, st.URLs)
+	// Output:
+	// laptops share a class: true
+	// desktops get their own: true
+	// 2 classes for 4 URLs
+}

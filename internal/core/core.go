@@ -1,0 +1,665 @@
+// Package core implements class-based delta-encoding — the paper's primary
+// contribution. The Engine orchestrates the grouping mechanism (Section
+// III), the randomized base-file selection (Section IV), the anonymization
+// process (Section V), and the Vdelta codec into the request-processing
+// pipeline a delta-server runs:
+//
+//  1. The request's URL is partitioned (server-part / hint-part / rest) and
+//     grouped into a class; the class's single base-file serves every
+//     member document.
+//  2. The current document snapshot (fetched from the adjacent web-server)
+//     is delta-encoded against the base-file the client holds; the (gzipped)
+//     delta is shipped instead of the full document.
+//  3. Every document feeds the class's base-file selector and the pending
+//     anonymization process. Until a class's base-file has been anonymized
+//     against N distinct users it is never distributed, and the class is
+//     served full documents.
+//
+// The Engine also implements the classless baseline (one base-file per
+// document, or per document per user when personalization is modeled),
+// whose server-side storage blow-up motivates the class-based scheme.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/classify"
+	"cbde/internal/gzipx"
+	"cbde/internal/metrics"
+	"cbde/internal/urlparts"
+	"cbde/internal/vcdiff"
+	"cbde/internal/vdelta"
+)
+
+// Mode selects how the engine maps documents to base-files.
+type Mode int
+
+const (
+	// ModeClassBased is the paper's scheme: one base-file per class.
+	ModeClassBased Mode = iota + 1
+	// ModeClassless is the basic delta-encoding baseline: one base-file
+	// per document URL.
+	ModeClassless
+	// ModeClasslessPerUser models personalized documents under the basic
+	// scheme: one base-file per (URL, user) pair — the storage blow-up of
+	// Section II.
+	ModeClasslessPerUser
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeClassBased:
+		return "class-based"
+	case ModeClassless:
+		return "classless"
+	case ModeClasslessPerUser:
+		return "classless-per-user"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parametrizes an Engine. The zero value selects class-based mode
+// with the paper's default parameters.
+type Config struct {
+	// Mode selects class-based operation or a classless baseline.
+	// Default ModeClassBased.
+	Mode Mode
+	// Rules partitions URLs per site. Default: the Table I heuristic only.
+	Rules *urlparts.RuleSet
+	// Classify configures the grouping mechanism (Section III).
+	Classify classify.Config
+	// Selector configures per-class base-file selection (Section IV).
+	Selector basefile.Config
+	// Anon configures base-file anonymization (Section V).
+	Anon anonymize.Config
+	// DisableAnonymization turns the anonymization stage off: base-files
+	// are distributed immediately. The classless baselines imply this
+	// (their base-files are private to a URL or user).
+	DisableAnonymization bool
+	// Codec configures the Vdelta coder.
+	Codec []vdelta.Option
+	// GzipDeltas compresses deltas with gzip before shipping, as in the
+	// paper's experiments. Default true; set GzipOff to disable.
+	GzipOff bool
+	// MaxDeltaRatio triggers a basic-rebase when the (uncompressed) delta
+	// exceeds this fraction of the document size. Default 0.5.
+	MaxDeltaRatio float64
+	// KeepBaseVersions is how many distributed base-file versions per class
+	// stay available for clients that hold an older version. Default 2.
+	KeepBaseVersions int
+	// Now supplies time, for deterministic tests. Default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeClassBased
+	}
+	if c.Rules == nil {
+		c.Rules = urlparts.NewRuleSet()
+	}
+	if c.MaxDeltaRatio <= 0 || c.MaxDeltaRatio > 1 {
+		c.MaxDeltaRatio = 0.5
+	}
+	if c.KeepBaseVersions <= 0 {
+		c.KeepBaseVersions = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.Mode != ModeClassBased {
+		c.DisableAnonymization = true
+		// Classless base-files are previous snapshots of the same document;
+		// there is nothing to sample across.
+		c.Selector.SampleProb = -1
+	}
+	return c
+}
+
+// Format selects the delta wire format for a response.
+type Format int
+
+const (
+	// FormatVdelta is the internal vdelta instruction stream (default).
+	FormatVdelta Format = iota + 1
+	// FormatVCDIFF is the RFC 3284 interchange format (reference [12]).
+	FormatVCDIFF
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatVdelta:
+		return "vdelta"
+	case FormatVCDIFF:
+		return "vcdiff"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// HeldBase identifies one base-file a client holds in its cache.
+type HeldBase struct {
+	ClassID string
+	Version int
+}
+
+// Request is one client request together with the current document snapshot
+// the delta-server fetched from the web-server.
+type Request struct {
+	URL    string // full request URL
+	UserID string // requesting user (cookie-derived in the paper)
+	Doc    []byte // current snapshot of the dynamic document
+
+	// Held lists the base-files the client holds for this server. The
+	// client cannot know which class an unseen URL belongs to, so it
+	// advertises everything it has; the engine picks the entry matching
+	// the document's class, if any. Deltas are only sent against a
+	// base-file the client holds.
+	Held []HeldBase
+
+	// HaveClassID and HaveVersion are a single-entry convenience
+	// equivalent to one Held element.
+	HaveClassID string
+	HaveVersion int
+
+	// Format selects the delta wire format (zero value: FormatVdelta).
+	// Clients that implement RFC 3284 request FormatVCDIFF.
+	Format Format
+}
+
+// heldVersionsFor returns every version of classID the client holds.
+func (r Request) heldVersionsFor(classID string) []int {
+	var out []int
+	if r.HaveClassID == classID && r.HaveVersion > 0 {
+		out = append(out, r.HaveVersion)
+	}
+	for _, h := range r.Held {
+		if h.ClassID == classID && h.Version > 0 {
+			out = append(out, h.Version)
+		}
+	}
+	return out
+}
+
+// ResponseKind distinguishes full-document from delta responses.
+type ResponseKind int
+
+const (
+	// KindFull means the response carries the complete document.
+	KindFull ResponseKind = iota + 1
+	// KindDelta means the response carries a delta against the base-file
+	// identified by ClassID/BaseVersion.
+	KindDelta
+)
+
+// String implements fmt.Stringer.
+func (k ResponseKind) String() string {
+	switch k {
+	case KindFull:
+		return "full"
+	case KindDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("ResponseKind(%d)", int(k))
+	}
+}
+
+// Response is the engine's decision for one request.
+type Response struct {
+	Kind ResponseKind
+	// ClassID identifies the document's class (empty while ungrouped in
+	// classless modes before the first base exists).
+	ClassID string
+	// BaseVersion is the base-file version the delta was encoded against
+	// (KindDelta), or 0.
+	BaseVersion int
+	// LatestVersion is the newest distributable base-file version for the
+	// class; clients holding older versions should refresh.
+	LatestVersion int
+	// Payload is the delta (gzipped unless GzipOff) for KindDelta, nil for
+	// KindFull (the caller already holds Doc).
+	Payload []byte
+	// Gzipped reports whether Payload is gzip-compressed.
+	Gzipped bool
+	// Format is the wire format of Payload for KindDelta.
+	Format Format
+	// BasicRebase reports that this request triggered a basic-rebase
+	// because its delta came out too large.
+	BasicRebase bool
+}
+
+// WireSize returns the number of payload bytes this response puts on the
+// client-facing network: the delta size, or the full document size.
+func (r Response) WireSize(docLen int) int {
+	if r.Kind == KindDelta {
+		return len(r.Payload)
+	}
+	return docLen
+}
+
+// ErrNoDocument is returned by Process for requests without a document.
+var ErrNoDocument = errors.New("core: request has no document snapshot")
+
+// classState is the engine's per-class serving state.
+type classState struct {
+	mu sync.Mutex
+
+	class    *classify.Class // nil in classless modes
+	id       string
+	selector *basefile.Selector
+
+	// Distributable (anonymized, for class-based mode) base-file versions.
+	// bases[v] exists for the KeepBaseVersions most recent versions.
+	bases       map[int][]byte
+	indexes     map[int]*vdelta.Index // lazily built codec indexes per version
+	distVersion int                   // newest distributable version; 0 = none yet
+
+	// anonProc anonymizes the selector's base at selectorVersion
+	// anonSource; nil when idle or anonymization is disabled.
+	anonProc   *anonymize.Process
+	anonSource int
+}
+
+// Engine implements class-based delta-encoding. Create one with NewEngine;
+// it is safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	coder    *vdelta.Coder
+	classify *classify.Manager
+
+	mu      sync.Mutex
+	classes map[string]*classState // by class/document key
+
+	reg *metrics.Registry
+}
+
+// NewEngine returns an Engine configured by cfg.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		coder:   vdelta.NewCoder(cfg.Codec...),
+		classes: make(map[string]*classState),
+		reg:     metrics.NewRegistry(),
+	}
+	if cfg.Mode == ModeClassBased {
+		e.classify = classify.NewManager(cfg.Classify)
+	}
+	return e, nil
+}
+
+// Metrics exposes the engine's metrics registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// state returns (creating if needed) the classState for key.
+func (e *Engine) state(key string, class *classify.Class) *classState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cs, ok := e.classes[key]
+	if !ok {
+		cs = &classState{
+			id:       key,
+			class:    class,
+			selector: basefile.NewSelector(e.cfg.Selector),
+			bases:    make(map[int][]byte),
+			indexes:  make(map[int]*vdelta.Index),
+		}
+		e.classes[key] = cs
+	}
+	return cs
+}
+
+// Process runs one request through the pipeline and decides what to send.
+func (e *Engine) Process(req Request) (Response, error) {
+	if req.Doc == nil {
+		return Response{}, ErrNoDocument
+	}
+	now := e.cfg.Now()
+	e.reg.Counter("requests").Inc()
+	e.reg.Counter("bytes.direct").Add(int64(len(req.Doc)))
+
+	cs, err := e.route(req)
+	if err != nil {
+		return Response{}, err
+	}
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+
+	// Feed the document to the selector (Section IV) and drive the
+	// anonymization pipeline (Section V).
+	ev := cs.selector.ObserveTagged(req.Doc, req.UserID, now)
+	if ev.GroupRebase {
+		e.reg.Counter("rebase.group").Inc()
+	}
+	e.advanceAnonymization(cs, req, now)
+
+	resp := e.respond(cs, req, now)
+	resp.ClassID = cs.id
+	resp.LatestVersion = cs.distVersion
+	if resp.Kind == KindDelta {
+		e.reg.Counter("responses.delta").Inc()
+		e.reg.Counter("bytes.delta").Add(int64(len(resp.Payload)))
+	} else {
+		e.reg.Counter("responses.full").Inc()
+		e.reg.Counter("bytes.full").Add(int64(len(req.Doc)))
+	}
+	return resp, nil
+}
+
+// route finds or creates the classState for the request.
+func (e *Engine) route(req Request) (*classState, error) {
+	switch e.cfg.Mode {
+	case ModeClassless:
+		return e.state("url:"+req.URL, nil), nil
+	case ModeClasslessPerUser:
+		return e.state("url:"+req.URL+"|user:"+req.UserID, nil), nil
+	default:
+		parts, err := e.cfg.Rules.Partition(req.URL)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition request URL: %w", err)
+		}
+		res := e.classify.Group(req.URL, parts, req.Doc)
+		if res.Created {
+			e.reg.Counter("classes.created").Inc()
+		}
+		e.reg.Counter("classify.probes").Add(int64(res.Probes))
+		return e.state(res.Class.ID, res.Class), nil
+	}
+}
+
+// advanceAnonymization drives the class's anonymization pipeline: it starts
+// a process when the selector has a newer base than the one being (or
+// already) distributed, feeds the current request into a running process,
+// and installs the anonymized base when the process completes. Callers hold
+// cs.mu.
+func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time) {
+	base, version := cs.selector.Base()
+	if version == 0 {
+		return
+	}
+
+	if e.cfg.DisableAnonymization {
+		// Distribute selector bases directly.
+		if version > cs.distVersion {
+			e.installBase(cs, version, base)
+		}
+		return
+	}
+
+	// (Re)start the process when the selector moved past what we are
+	// anonymizing or distributing.
+	if version > cs.anonSource && version > cs.distVersion {
+		cs.anonProc = anonymize.NewProcess(base, cs.selector.BaseTag(), e.cfg.Anon)
+		cs.anonSource = version
+		e.reg.Counter("anon.started").Inc()
+	}
+	if cs.anonProc == nil {
+		return
+	}
+	cs.anonProc.Compare(req.Doc, req.UserID)
+	if !cs.anonProc.Done() {
+		return
+	}
+	anon, err := cs.anonProc.Result()
+	if err != nil {
+		// Unreachable: Done() implies Result succeeds. Drop the process to
+		// avoid wedging the class.
+		cs.anonProc = nil
+		return
+	}
+	cs.anonProc = nil
+	e.reg.Counter("anon.completed").Inc()
+	e.installBase(cs, cs.anonSource, anon)
+}
+
+// installBase records base as the class's distributable version v and
+// prunes old versions. Callers hold cs.mu.
+func (e *Engine) installBase(cs *classState, v int, base []byte) {
+	cs.bases[v] = base
+	cs.distVersion = v
+	if cs.class != nil {
+		cs.class.SetMatchBase(base)
+	}
+	for old := range cs.bases {
+		if old <= v-e.cfg.KeepBaseVersions {
+			delete(cs.bases, old)
+			delete(cs.indexes, old)
+		}
+	}
+	e.reg.Counter("bases.installed").Inc()
+}
+
+// respond chooses between a delta and a full response. Callers hold cs.mu.
+func (e *Engine) respond(cs *classState, req Request, now time.Time) Response {
+	if cs.distVersion == 0 {
+		// No distributable base yet (anonymization in progress).
+		return Response{Kind: KindFull}
+	}
+
+	// Deltas are only useful against a base the client holds and the
+	// server still stores; prefer the newest such version.
+	clientVersion := 0
+	for _, v := range req.heldVersionsFor(cs.id) {
+		if _, ok := cs.bases[v]; ok && v > clientVersion {
+			clientVersion = v
+		}
+	}
+	if clientVersion == 0 {
+		return Response{Kind: KindFull}
+	}
+	base := cs.bases[clientVersion]
+
+	format := req.Format
+	if format == 0 {
+		format = FormatVdelta
+	}
+	var delta []byte
+	var err error
+	if format == FormatVCDIFF {
+		delta, err = vcdiff.Encode(base, req.Doc)
+	} else {
+		// The base-file changes only on rebases, so its codec index is
+		// built once per version and reused across requests.
+		ix := cs.indexes[clientVersion]
+		if ix == nil {
+			ix = e.coder.NewIndex(base)
+			cs.indexes[clientVersion] = ix
+		}
+		delta, err = e.coder.EncodeIndexed(ix, req.Doc)
+	}
+	if err != nil {
+		return Response{Kind: KindFull}
+	}
+	if float64(len(delta)) > e.cfg.MaxDeltaRatio*float64(len(req.Doc)) {
+		// The base-file has drifted too far: basic-rebase on the current
+		// document (Section IV). The paper flushes the stored samples; the
+		// new base becomes distributable after anonymization (class-based)
+		// or immediately (baselines).
+		v := cs.selector.BasicRebase(req.Doc, req.UserID, now)
+		e.reg.Counter("rebase.basic").Inc()
+		if e.cfg.DisableAnonymization {
+			e.installBase(cs, v, append([]byte(nil), req.Doc...))
+		} else {
+			cs.anonProc = anonymize.NewProcess(req.Doc, req.UserID, e.cfg.Anon)
+			cs.anonSource = v
+			e.reg.Counter("anon.started").Inc()
+		}
+		return Response{Kind: KindFull, BasicRebase: true}
+	}
+
+	payload := delta
+	gzipped := false
+	if !e.cfg.GzipOff {
+		if c := gzipx.Compress(delta); len(c) < len(delta) {
+			payload, gzipped = c, true
+		}
+	}
+	return Response{
+		Kind:        KindDelta,
+		BaseVersion: clientVersion,
+		Payload:     payload,
+		Gzipped:     gzipped,
+		Format:      format,
+	}
+}
+
+// BaseFile returns the distributable base-file bytes for a class and
+// version. ok is false when the class or version is unknown (e.g. pruned).
+func (e *Engine) BaseFile(classID string, version int) ([]byte, bool) {
+	e.mu.Lock()
+	cs, exists := e.classes[classID]
+	e.mu.Unlock()
+	if !exists {
+		return nil, false
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	base, ok := cs.bases[version]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(base))
+	copy(out, base)
+	return out, true
+}
+
+// LatestBase returns the newest distributable base-file for a class and its
+// version. ok is false when the class has no distributable base yet.
+func (e *Engine) LatestBase(classID string) ([]byte, int, bool) {
+	e.mu.Lock()
+	cs, exists := e.classes[classID]
+	e.mu.Unlock()
+	if !exists {
+		return nil, 0, false
+	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.distVersion == 0 {
+		return nil, 0, false
+	}
+	base := cs.bases[cs.distVersion]
+	out := make([]byte, len(base))
+	copy(out, base)
+	return out, cs.distVersion, true
+}
+
+// Stats is a snapshot of the engine's behaviour, the raw material for the
+// paper's tables.
+type Stats struct {
+	Mode           Mode
+	Requests       int64
+	FullResponses  int64
+	DeltaResponses int64
+
+	BytesDirect int64 // what a server without delta-encoding would send
+	BytesDelta  int64 // delta payload bytes actually sent
+	BytesFull   int64 // full-document bytes actually sent
+
+	Classes      int   // classStates (classes, or documents in classless modes)
+	GroupRebases int64 // group-rebases across all classes
+	BasicRebases int64 // basic-rebases across all classes
+
+	AnonStarted   int64 // anonymization processes started
+	AnonCompleted int64 // anonymization processes completed
+
+	// StorageBytes is the server-side storage footprint: distributable
+	// base versions plus the selectors' stored candidate documents. This
+	// is the scalability headline of the paper.
+	StorageBytes int64
+}
+
+// Savings returns the bandwidth savings fraction (1 - sent/direct) over the
+// client-facing link, counting delta and full responses.
+func (s Stats) Savings() float64 {
+	if s.BytesDirect == 0 {
+		return 0
+	}
+	sent := s.BytesDelta + s.BytesFull
+	return 1 - float64(sent)/float64(s.BytesDirect)
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	states := make([]*classState, 0, len(e.classes))
+	for _, cs := range e.classes {
+		states = append(states, cs)
+	}
+	e.mu.Unlock()
+
+	var storage int64
+	for _, cs := range states {
+		cs.mu.Lock()
+		for _, b := range cs.bases {
+			storage += int64(len(b))
+		}
+		sel := cs.selector.Stats()
+		storage += int64(sel.StoredBytes)
+		cs.mu.Unlock()
+	}
+
+	return Stats{
+		Mode:           e.cfg.Mode,
+		Requests:       e.reg.Counter("requests").Value(),
+		FullResponses:  e.reg.Counter("responses.full").Value(),
+		DeltaResponses: e.reg.Counter("responses.delta").Value(),
+		BytesDirect:    e.reg.Counter("bytes.direct").Value(),
+		BytesDelta:     e.reg.Counter("bytes.delta").Value(),
+		BytesFull:      e.reg.Counter("bytes.full").Value(),
+		Classes:        len(states),
+		GroupRebases:   e.reg.Counter("rebase.group").Value(),
+		BasicRebases:   e.reg.Counter("rebase.basic").Value(),
+		AnonStarted:    e.reg.Counter("anon.started").Value(),
+		AnonCompleted:  e.reg.Counter("anon.completed").Value(),
+		StorageBytes:   storage,
+	}
+}
+
+// Decode reconstructs a document from a base-file and a vdelta response
+// payload, undoing gzip when the response says so. It is what a
+// delta-capable client runs; the engine exposes it so callers need not know
+// the codec config. For VCDIFF responses use DecodeAs.
+func (e *Engine) Decode(base, payload []byte, gzipped bool) ([]byte, error) {
+	return e.DecodeAs(base, payload, gzipped, FormatVdelta)
+}
+
+// DecodeAs is Decode for an explicit wire format.
+func (e *Engine) DecodeAs(base, payload []byte, gzipped bool, format Format) ([]byte, error) {
+	delta := payload
+	if gzipped {
+		d, err := gzipx.Decompress(payload)
+		if err != nil {
+			return nil, fmt.Errorf("core: decompress delta: %w", err)
+		}
+		delta = d
+	}
+	var doc []byte
+	var err error
+	if format == FormatVCDIFF {
+		doc, err = vcdiff.Decode(base, delta)
+	} else {
+		doc, err = e.coder.Decode(base, delta)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: apply delta: %w", err)
+	}
+	return doc, nil
+}
+
+// GroupingStats exposes the classifier's statistics in class-based mode.
+// ok is false in classless modes.
+func (e *Engine) GroupingStats() (classify.Stats, bool) {
+	if e.classify == nil {
+		return classify.Stats{}, false
+	}
+	return e.classify.Stats(), true
+}

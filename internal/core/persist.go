@@ -1,0 +1,153 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"cbde/internal/classify"
+)
+
+// stateVersion guards the persistence format.
+const stateVersion = 1
+
+// savedClassState is the serializable per-class serving state. Selector
+// candidate stores and in-flight anonymization processes are deliberately
+// not persisted: they re-warm from live traffic.
+type savedClassState struct {
+	ID           string         `json:"id"`
+	Bases        map[int][]byte `json:"bases,omitempty"` // JSON base64-encodes []byte
+	DistVersion  int            `json:"distVersion"`
+	SelectorBase []byte         `json:"selectorBase,omitempty"`
+	SelectorTag  string         `json:"selectorTag,omitempty"`
+	SelectorVer  int            `json:"selectorVersion"`
+}
+
+// savedState is the serializable portion of an Engine.
+type savedState struct {
+	Version  int                `json:"version"`
+	Mode     Mode               `json:"mode"`
+	SavedAt  time.Time          `json:"savedAt"`
+	Classes  []savedClassState  `json:"classes"`
+	Grouping *classify.Exported `json:"grouping,omitempty"`
+}
+
+// SaveState writes the engine's durable state to w: class definitions, URL
+// assignments, distributable (anonymized) base-file versions, and each
+// selector's current base. A delta-server can restart from this without
+// re-anonymizing every class or invalidating clients' held base-files.
+// Selector candidate samples and in-flight anonymization processes are not
+// persisted; they rebuild from traffic.
+func (e *Engine) SaveState(w io.Writer) error {
+	st := savedState{Version: stateVersion, Mode: e.cfg.Mode, SavedAt: e.cfg.Now()}
+	if e.classify != nil {
+		ex := e.classify.Export()
+		st.Grouping = &ex
+	}
+
+	e.mu.Lock()
+	keys := make([]string, 0, len(e.classes))
+	states := make(map[string]*classState, len(e.classes))
+	for k, cs := range e.classes {
+		keys = append(keys, k)
+		states[k] = cs
+	}
+	e.mu.Unlock()
+	sort.Strings(keys) // deterministic output for identical state
+
+	for _, k := range keys {
+		cs := states[k]
+		cs.mu.Lock()
+		scs := savedClassState{
+			ID:          cs.id,
+			Bases:       make(map[int][]byte, len(cs.bases)),
+			DistVersion: cs.distVersion,
+		}
+		for v, b := range cs.bases {
+			scs.Bases[v] = append([]byte(nil), b...)
+		}
+		base, version := cs.selector.Base()
+		scs.SelectorBase = base
+		scs.SelectorVer = version
+		scs.SelectorTag = cs.selector.BaseTag()
+		cs.mu.Unlock()
+		st.Classes = append(st.Classes, scs)
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(st); err != nil {
+		return fmt.Errorf("core: save state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores state written by SaveState into a freshly constructed
+// engine. It must run before the engine serves traffic, and the engine's
+// Mode must match the saved one.
+func (e *Engine) LoadState(r io.Reader) error {
+	var st savedState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: load state: %w", err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("core: load state: unsupported version %d", st.Version)
+	}
+	if st.Mode != e.cfg.Mode {
+		return fmt.Errorf("core: load state: saved mode %v does not match engine mode %v", st.Mode, e.cfg.Mode)
+	}
+
+	e.mu.Lock()
+	nonEmpty := len(e.classes) != 0
+	e.mu.Unlock()
+	if nonEmpty {
+		return fmt.Errorf("core: load state into an engine that already served traffic")
+	}
+
+	if st.Grouping != nil {
+		if e.classify == nil {
+			return fmt.Errorf("core: load state: snapshot has grouping state but engine is classless")
+		}
+		if err := e.classify.Import(*st.Grouping); err != nil {
+			return fmt.Errorf("core: load state: %w", err)
+		}
+	}
+
+	now := e.cfg.Now()
+	for _, scs := range st.Classes {
+		if scs.ID == "" {
+			return fmt.Errorf("core: load state: class with empty ID")
+		}
+		var cl *classify.Class
+		if e.classify != nil {
+			var ok bool
+			cl, ok = e.classify.ClassByID(scs.ID)
+			if !ok {
+				return fmt.Errorf("core: load state: class %q missing from grouping state", scs.ID)
+			}
+		}
+		cs := e.state(scs.ID, cl)
+		cs.mu.Lock()
+		for v, b := range scs.Bases {
+			if v <= 0 {
+				cs.mu.Unlock()
+				return fmt.Errorf("core: load state: class %q has invalid base version %d", scs.ID, v)
+			}
+			cs.bases[v] = append([]byte(nil), b...)
+		}
+		cs.distVersion = scs.DistVersion
+		if _, ok := cs.bases[cs.distVersion]; cs.distVersion != 0 && !ok {
+			cs.mu.Unlock()
+			return fmt.Errorf("core: load state: class %q distributes missing version %d", scs.ID, cs.distVersion)
+		}
+		if scs.SelectorVer > 0 {
+			cs.selector.Restore(scs.SelectorBase, scs.SelectorTag, scs.SelectorVer, now)
+		}
+		// Anonymization already happened for the distributed versions; the
+		// next rebase starts a fresh process.
+		cs.anonSource = scs.SelectorVer
+		cs.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cbde/internal/anonymize"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	// Warm an engine: classes formed, bases anonymized and distributed.
+	a := newTestEngine(t, Config{Anon: anonymize.Config{M: 1, N: 3}})
+	classID := warmClass(t, a, "laptops", 8)
+	warmClass(t, a, "desktops", 8)
+	base, version, ok := a.LatestBase(classID)
+	if !ok {
+		t.Fatal("no base after warmup")
+	}
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh engine (a restarted delta-server) restores it.
+	b := newTestEngine(t, Config{Anon: anonymize.Config{M: 1, N: 3}})
+	if err := b.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored engine serves deltas against the persisted base
+	// immediately — no re-anonymization, no full-response warmup.
+	doc := renderDoc("laptops", 1, 77, "returning")
+	resp, err := b.Process(Request{
+		URL: "www.shop.com/laptops/1", UserID: "returning", Doc: doc,
+		HaveClassID: classID, HaveVersion: version,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindDelta {
+		t.Fatalf("restored engine served %v, want delta", resp.Kind)
+	}
+	if resp.ClassID != classID {
+		t.Errorf("URL regrouped into %q, want %q", resp.ClassID, classID)
+	}
+	got, err := b.Decode(base, resp.Payload, resp.Gzipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, doc) {
+		t.Error("reconstruction against persisted base failed")
+	}
+
+	// The restored base-file endpoint serves the same bytes.
+	rbase, ok := b.BaseFile(classID, version)
+	if !ok || !bytes.Equal(rbase, base) {
+		t.Error("restored BaseFile differs from the saved one")
+	}
+}
+
+func TestLoadStateVersionNumberingContinues(t *testing.T) {
+	clock := newTestClock()
+	a := newTestEngine(t, Config{
+		DisableAnonymization: true,
+		MaxDeltaRatio:        0.2,
+		Now:                  clock.Now,
+	})
+	// Drive to version >= 2 via basic rebases.
+	var classID string
+	have := 0
+	for i := 0; i < 8; i++ {
+		resp, err := a.Process(Request{
+			URL: "www.shop.com/p/1", UserID: "u", Doc: incompressible(uint64(i/4)+1, 4000),
+			HaveClassID: classID, HaveVersion: have,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classID = resp.ClassID
+		if resp.LatestVersion > have {
+			have = resp.LatestVersion
+		}
+	}
+	if have < 2 {
+		t.Fatalf("want version >= 2, got %d", have)
+	}
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := newTestEngine(t, Config{
+		DisableAnonymization: true,
+		MaxDeltaRatio:        0.2,
+		Now:                  clock.Now,
+	})
+	if err := b.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A drastic content change triggers another basic rebase: the new
+	// version must continue numbering past the persisted one, not restart
+	// at 1 (which would corrupt clients' version bookkeeping).
+	resp, err := b.Process(Request{
+		URL: "www.shop.com/p/1", UserID: "u", Doc: incompressible(999, 4000),
+		HaveClassID: classID, HaveVersion: have,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.BasicRebase {
+		t.Fatal("expected a basic rebase after restore")
+	}
+	if resp.LatestVersion <= have {
+		t.Errorf("post-restore version %d did not advance past %d", resp.LatestVersion, have)
+	}
+}
+
+func TestLoadStateErrors(t *testing.T) {
+	mk := func() *Engine { return newTestEngine(t, Config{Anon: anonymize.Config{M: 1, N: 2}}) }
+
+	t.Run("garbage", func(t *testing.T) {
+		if err := mk().LoadState(strings.NewReader("not json")); err == nil {
+			t.Error("garbage accepted")
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		if err := mk().LoadState(strings.NewReader(`{"version":99,"mode":1}`)); err == nil {
+			t.Error("wrong version accepted")
+		}
+	})
+	t.Run("wrong mode", func(t *testing.T) {
+		a := newTestEngine(t, Config{Mode: ModeClassless})
+		var buf bytes.Buffer
+		if _, err := a.Process(Request{URL: "www.x.com/a", UserID: "u", Doc: bytes.Repeat([]byte("x"), 100)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := mk().LoadState(&buf); err == nil {
+			t.Error("mode mismatch accepted")
+		}
+	})
+	t.Run("non-empty engine", func(t *testing.T) {
+		a := mk()
+		warmClass(t, a, "laptops", 4)
+		var buf bytes.Buffer
+		if err := a.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		b := mk()
+		warmClass(t, b, "laptops", 2)
+		if err := b.LoadState(&buf); err == nil {
+			t.Error("load into a used engine accepted")
+		}
+	})
+	t.Run("missing class in grouping", func(t *testing.T) {
+		bad := `{"version":1,"mode":1,"grouping":{"classes":[],"urls":{},"nextSeq":0},` +
+			`"classes":[{"id":"ghost","distVersion":0,"selectorVersion":1}]}`
+		if err := mk().LoadState(strings.NewReader(bad)); err == nil {
+			t.Error("ghost class accepted")
+		}
+	})
+	t.Run("missing distributed version", func(t *testing.T) {
+		bad := `{"version":1,"mode":1,` +
+			`"grouping":{"classes":[{"id":"c","server":"s","hint":"h"}],"urls":{},"nextSeq":1},` +
+			`"classes":[{"id":"c","distVersion":3,"selectorVersion":3}]}`
+		if err := mk().LoadState(strings.NewReader(bad)); err == nil {
+			t.Error("missing distributed base accepted")
+		}
+	})
+}
+
+func TestSaveLoadPreservesGroupingKnowledge(t *testing.T) {
+	a := newTestEngine(t, Config{Anon: anonymize.Config{M: 1, N: 2}})
+	warmClass(t, a, "laptops", 6)
+	gsA, _ := a.GroupingStats()
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := newTestEngine(t, Config{Anon: anonymize.Config{M: 1, N: 2}})
+	if err := b.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	gsB, _ := b.GroupingStats()
+	if gsB.Classes != gsA.Classes || gsB.URLs != gsA.URLs {
+		t.Errorf("grouping state lost: %+v vs %+v", gsB, gsA)
+	}
+
+	// A known URL must not probe again after restore.
+	doc := renderDoc("laptops", 0, 5, "u")
+	resp, err := b.Process(Request{URL: "www.shop.com/laptops/0", UserID: "u", Doc: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ClassID == "" {
+		t.Error("restored engine failed to classify a known URL")
+	}
+	gsAfter, _ := b.GroupingStats()
+	if gsAfter.URLs != gsB.URLs {
+		t.Errorf("known URL was re-grouped: %d -> %d URLs", gsB.URLs, gsAfter.URLs)
+	}
+}
+
+func TestSaveStateDeterministicOrder(t *testing.T) {
+	a := newTestEngine(t, Config{Anon: anonymize.Config{M: 1, N: 2}})
+	for _, dept := range []string{"laptops", "desktops", "phones"} {
+		for i := 0; i < 4; i++ {
+			user := fmt.Sprintf("%s-u%d", dept, i)
+			if _, err := a.Process(Request{
+				URL: fmt.Sprintf("www.shop.com/%s/%d", dept, i), UserID: user,
+				Doc: renderDoc(dept, i, i, user),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := a.SaveState(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SaveState(&b2); err != nil {
+		t.Fatal(err)
+	}
+	// Timestamps differ (the clock ticks); strip them before comparing.
+	s1 := strings.ReplaceAll(b1.String(), savedAtOf(t, b1.String()), "")
+	s2 := strings.ReplaceAll(b2.String(), savedAtOf(t, b2.String()), "")
+	if s1 != s2 {
+		t.Error("SaveState output is not deterministic for identical state")
+	}
+}
+
+func savedAtOf(t *testing.T, s string) string {
+	t.Helper()
+	i := strings.Index(s, `"savedAt":"`)
+	if i < 0 {
+		t.Fatal("no savedAt in state")
+	}
+	rest := s[i+len(`"savedAt":"`):]
+	j := strings.IndexByte(rest, '"')
+	return rest[:j]
+}

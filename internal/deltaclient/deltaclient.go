@@ -1,0 +1,304 @@
+// Package deltaclient implements a delta-capable HTTP client: the stand-in
+// for the browser-side of the architecture (Section VI-C), where the
+// browser's cache stores base-files and JavaScript (or a plug-in) combines
+// deltas with locally stored base-files.
+//
+// The client remembers, per class, the base-file it holds; advertises it on
+// every request; reconstructs documents from delta responses; and fetches
+// (re-fetches after rebases) base-files from the server's cachable
+// distribution endpoint — optionally through a proxy-cache.
+package deltaclient
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cbde/internal/deltahttp"
+	"cbde/internal/gzipx"
+	"cbde/internal/vcdiff"
+	"cbde/internal/vdelta"
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying HTTP client (e.g. to route through
+// a proxy-cache).
+func WithHTTPClient(c *http.Client) Option {
+	return func(cl *Client) { cl.http = c }
+}
+
+// WithUser sets the client's user identity, sent on every request.
+func WithUser(user string) Option {
+	return func(cl *Client) { cl.user = user }
+}
+
+// WithMaxBaseBytes bounds the client's base-file cache (a browser cache is
+// finite). When an insertion would exceed the bound, the least recently
+// used base-files are evicted. Zero (the default) means unbounded.
+func WithMaxBaseBytes(n int64) Option {
+	return func(cl *Client) { cl.maxBaseBytes = n }
+}
+
+// WithVCDIFF makes the client request and decode RFC 3284 VCDIFF deltas
+// instead of the internal vdelta format.
+func WithVCDIFF() Option {
+	return func(cl *Client) { cl.useVCDIFF = true }
+}
+
+// heldBase is a base-file in the client's cache.
+type heldBase struct {
+	version  int
+	data     []byte
+	lastUsed int64 // monotone use counter for LRU eviction
+}
+
+// Stats counts the client's transfer volumes — the client side of the
+// bandwidth story.
+type Stats struct {
+	Requests       int   // document requests issued
+	DeltaResponses int   // responses that arrived as deltas
+	FullResponses  int   // responses that arrived as full documents
+	PayloadBytes   int64 // body bytes received for documents (deltas + fulls)
+	BaseFetches    int   // base-file downloads
+	BaseBytes      int64 // base-file bytes downloaded
+	BaseEvictions  int   // base-files evicted from the bounded cache
+}
+
+// maxAdvertisedBases bounds the HeaderHave size; clients rarely hold more
+// than a handful of class base-files per server.
+const maxAdvertisedBases = 32
+
+// Client is a delta-capable HTTP client. It is safe for concurrent use.
+type Client struct {
+	serverURL string
+	http      *http.Client
+	user      string
+	useVCDIFF bool
+
+	maxBaseBytes int64
+
+	mu     sync.Mutex
+	bases  map[string]heldBase // class ID -> held base
+	useSeq int64               // monotone counter for LRU bookkeeping
+	stats  Stats
+}
+
+// New returns a Client that requests documents from serverURL (scheme and
+// host, e.g. "http://127.0.0.1:8080").
+func New(serverURL string, opts ...Option) *Client {
+	c := &Client{
+		serverURL: serverURL,
+		http:      &http.Client{Timeout: 30 * time.Second},
+		bases:     make(map[string]heldBase),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Stats returns a snapshot of the client's transfer counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// HeldVersion reports the base-file version the client holds for a class
+// (0 if none).
+func (c *Client) HeldVersion(classID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bases[classID].version
+}
+
+// Get requests the document at path (e.g. "/laptops/3") and returns the
+// reconstructed document.
+func (c *Client) Get(path string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, c.serverURL+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("deltaclient: build request: %w", err)
+	}
+	req.Header.Set(deltahttp.HeaderCapable, "1")
+	if c.user != "" {
+		req.Header.Set(deltahttp.HeaderUser, c.user)
+	}
+	if c.useVCDIFF {
+		req.Header.Set(deltahttp.HeaderAccept, deltahttp.EncodingVCDIFF)
+	}
+
+	// Advertise every held base: the client cannot know which class an
+	// unseen URL belongs to, so the server picks the matching one.
+	c.mu.Lock()
+	held := make([]deltahttp.Held, 0, len(c.bases))
+	for id, hb := range c.bases {
+		held = append(held, deltahttp.Held{ClassID: id, Version: hb.version})
+		if len(held) >= maxAdvertisedBases {
+			break
+		}
+	}
+	c.mu.Unlock()
+	if len(held) > 0 {
+		req.Header.Set(deltahttp.HeaderHave, deltahttp.FormatHave(held))
+	}
+
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("deltaclient: request %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("deltaclient: %s returned status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("deltaclient: read response: %w", err)
+	}
+
+	gotClass := resp.Header.Get(deltahttp.HeaderClass)
+	latest, _ := strconv.Atoi(resp.Header.Get(deltahttp.HeaderLatestVersion))
+
+	c.mu.Lock()
+	c.stats.Requests++
+	c.stats.PayloadBytes += int64(len(body))
+	c.mu.Unlock()
+
+	var doc []byte
+	switch enc := resp.Header.Get(deltahttp.HeaderEncoding); enc {
+	case "":
+		c.mu.Lock()
+		c.stats.FullResponses++
+		c.mu.Unlock()
+		doc = body
+	case deltahttp.EncodingVdelta, deltahttp.EncodingVdeltaGzip,
+		deltahttp.EncodingVCDIFF, deltahttp.EncodingVCDIFFGzip:
+		baseVersion, err := strconv.Atoi(resp.Header.Get(deltahttp.HeaderBaseVersion))
+		if err != nil {
+			return nil, fmt.Errorf("deltaclient: delta response lacks a base version")
+		}
+		gzipped := enc == deltahttp.EncodingVdeltaGzip || enc == deltahttp.EncodingVCDIFFGzip
+		isVCDIFF := enc == deltahttp.EncodingVCDIFF || enc == deltahttp.EncodingVCDIFFGzip
+		doc, err = c.reconstruct(gotClass, baseVersion, body, gzipped, isVCDIFF)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.stats.DeltaResponses++
+		c.mu.Unlock()
+	default:
+		return nil, fmt.Errorf("deltaclient: unknown payload encoding %q", enc)
+	}
+
+	// Refresh the base-file when the server advertises a newer version, so
+	// future requests are served as deltas against a fresh base.
+	if gotClass != "" && latest > 0 && latest > c.HeldVersion(gotClass) {
+		if err := c.FetchBase(gotClass, latest); err != nil {
+			// Base distribution failing is not fatal for this response: the
+			// document is already reconstructed. Surface it anyway so
+			// callers notice persistent distribution problems.
+			return doc, fmt.Errorf("deltaclient: refresh base for %s: %w", gotClass, err)
+		}
+	}
+	return doc, nil
+}
+
+// reconstruct applies a delta response to the held base-file.
+func (c *Client) reconstruct(classID string, version int, payload []byte, gzipped, isVCDIFF bool) ([]byte, error) {
+	c.mu.Lock()
+	held, ok := c.bases[classID]
+	if ok {
+		c.useSeq++
+		held.lastUsed = c.useSeq
+		c.bases[classID] = held
+	}
+	c.mu.Unlock()
+	if !ok || held.version != version {
+		return nil, fmt.Errorf("deltaclient: server sent delta against %s v%d which the client does not hold", classID, version)
+	}
+	delta := payload
+	if gzipped {
+		d, err := gzipx.Decompress(payload)
+		if err != nil {
+			return nil, fmt.Errorf("deltaclient: decompress delta: %w", err)
+		}
+		delta = d
+	}
+	var doc []byte
+	var err error
+	if isVCDIFF {
+		doc, err = vcdiff.Decode(held.data, delta)
+	} else {
+		doc, err = vdelta.Decode(held.data, delta)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("deltaclient: apply delta: %w", err)
+	}
+	return doc, nil
+}
+
+// FetchBase downloads and stores a class's base-file version from the
+// server's cachable distribution endpoint.
+func (c *Client) FetchBase(classID string, version int) error {
+	req, err := http.NewRequest(http.MethodGet, c.serverURL+deltahttp.BasePath(classID, version), nil)
+	if err != nil {
+		return fmt.Errorf("deltaclient: build base request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("deltaclient: fetch base: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("deltaclient: base fetch returned status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("deltaclient: read base: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.bases[classID]; !ok || version > cur.version {
+		c.useSeq++
+		c.bases[classID] = heldBase{version: version, data: data, lastUsed: c.useSeq}
+		c.evictLocked()
+	}
+	c.stats.BaseFetches++
+	c.stats.BaseBytes += int64(len(data))
+	return nil
+}
+
+// evictLocked drops least-recently-used base-files until the cache fits
+// maxBaseBytes. Callers hold c.mu.
+func (c *Client) evictLocked() {
+	if c.maxBaseBytes <= 0 {
+		return
+	}
+	total := int64(0)
+	for _, hb := range c.bases {
+		total += int64(len(hb.data))
+	}
+	for total > c.maxBaseBytes && len(c.bases) > 1 {
+		oldestID := ""
+		oldestUse := int64(0)
+		for id, hb := range c.bases {
+			if oldestID == "" || hb.lastUsed < oldestUse {
+				oldestID, oldestUse = id, hb.lastUsed
+			}
+		}
+		total -= int64(len(c.bases[oldestID].data))
+		delete(c.bases, oldestID)
+		c.stats.BaseEvictions++
+	}
+}
+
+// Forget drops all held base-files (a cold browser cache).
+func (c *Client) Forget() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bases = make(map[string]heldBase)
+}

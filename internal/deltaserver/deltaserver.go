@@ -1,0 +1,292 @@
+// Package deltaserver implements the delta-server of Section VI-C: a
+// transparent HTTP front placed next to the web-server (Figure 2).
+//
+// Every request is forwarded to the origin to obtain the current document
+// snapshot (the delta-server sits adjacent to the web-server, so this hop is
+// cheap). The snapshot runs through the class-based delta-encoding engine;
+// delta-capable clients receive a small (gzipped) delta against the
+// class's base-file, everyone else receives the document unchanged. Class
+// base-files are served from a cachable endpoint so ordinary proxy-caches
+// between server and clients absorb base-file distribution.
+package deltaserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cbde/internal/core"
+	"cbde/internal/deltahttp"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithPublicHost overrides the host used as the server-part when grouping
+// request URLs. By default the request's Host header is used; behind test
+// servers or load balancers a stable public host keeps class identities
+// stable.
+func WithPublicHost(host string) Option {
+	return func(s *Server) { s.publicHost = host }
+}
+
+// WithBaseMaxAge sets the Cache-Control max-age for distributed base-files.
+// Default one hour.
+func WithBaseMaxAge(d time.Duration) Option {
+	return func(s *Server) { s.baseMaxAge = d }
+}
+
+// WithHTTPClient replaces the HTTP client used to reach the origin.
+func WithHTTPClient(c *http.Client) Option {
+	return func(s *Server) { s.client = c }
+}
+
+// WithCookieIdentity makes the server assign a "uid" cookie to requests
+// that carry no user identity — the paper's cookie-based user
+// identification (Section V). Anonymization counts distinct users by these
+// identities, so unidentified traffic would otherwise never complete it.
+func WithCookieIdentity() Option {
+	return func(s *Server) { s.assignCookies = true }
+}
+
+// Server is the delta-server: an http.Handler fronting one origin.
+type Server struct {
+	origin        *url.URL
+	engine        *core.Engine
+	client        *http.Client
+	publicHost    string
+	baseMaxAge    time.Duration
+	assignCookies bool
+	uidCounter    atomic.Uint64
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// New returns a Server forwarding to originURL and encoding with engine.
+func New(originURL string, engine *core.Engine, opts ...Option) (*Server, error) {
+	u, err := url.Parse(originURL)
+	if err != nil {
+		return nil, fmt.Errorf("deltaserver: parse origin URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("deltaserver: origin URL %q needs scheme and host", originURL)
+	}
+	s := &Server{
+		origin:     u,
+		engine:     engine,
+		client:     &http.Client{Timeout: 30 * time.Second},
+		baseMaxAge: time.Hour,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Engine returns the server's encoding engine (for stats).
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasPrefix(r.URL.Path, deltahttp.BasePathPrefix):
+		s.serveBase(w, r)
+	case r.URL.Path == deltahttp.StatsPath:
+		s.serveStats(w)
+	case r.Method != http.MethodGet:
+		// Only GET responses are delta-encoded; everything else passes
+		// through untouched (transparency).
+		s.proxyRaw(w, r)
+	default:
+		s.serveDocument(w, r)
+	}
+}
+
+// proxyRaw forwards a request verbatim to the origin.
+func (s *Server) proxyRaw(w http.ResponseWriter, r *http.Request) {
+	u := *s.origin
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := s.client.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("origin request failed: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// serveBase serves a class base-file as a cachable object.
+func (s *Server) serveBase(w http.ResponseWriter, r *http.Request) {
+	classID, version, err := deltahttp.ParseBasePath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	base, ok := s.engine.BaseFile(classID, version)
+	if !ok {
+		http.Error(w, "base-file not available", http.StatusNotFound)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Cache-Control", fmt.Sprintf("public, max-age=%d", int(s.baseMaxAge.Seconds())))
+	h.Set(deltahttp.HeaderClass, classID)
+	h.Set(deltahttp.HeaderBaseVersion, strconv.Itoa(version))
+	_, _ = w.Write(base)
+}
+
+// serveStats dumps engine counters.
+func (s *Server) serveStats(w http.ResponseWriter) {
+	st := s.engine.Stats()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "mode %s\nrequests %d\nfull %d\ndelta %d\nbytes.direct %d\nbytes.delta %d\nbytes.full %d\nclasses %d\nstorage %d\nsavings %.4f\n",
+		st.Mode, st.Requests, st.FullResponses, st.DeltaResponses,
+		st.BytesDirect, st.BytesDelta, st.BytesFull, st.Classes, st.StorageBytes, st.Savings())
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, s.engine.Metrics().Snapshot())
+}
+
+// serveDocument fetches the current snapshot from the origin and responds
+// with a delta or the full document.
+func (s *Server) serveDocument(w http.ResponseWriter, r *http.Request) {
+	doc, contentType, status, err := s.fetchOrigin(r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("origin fetch failed: %v", err), http.StatusBadGateway)
+		return
+	}
+	if status != http.StatusOK {
+		// Pass non-OK origin responses through untouched.
+		w.Header().Set("Content-Type", contentType)
+		w.WriteHeader(status)
+		_, _ = w.Write(doc)
+		return
+	}
+
+	host := s.publicHost
+	if host == "" {
+		host = r.Host
+	}
+	user := userOf(r)
+	if user == "" && s.assignCookies {
+		// First contact from an unidentified browser: mint an identity and
+		// hand it back as a cookie (the paper's user identification).
+		user = fmt.Sprintf("uid-%d-%d", time.Now().UnixNano(), s.uidCounter.Add(1))
+		http.SetCookie(w, &http.Cookie{Name: "uid", Value: user, Path: "/"})
+	}
+	req := core.Request{
+		URL:    host + r.URL.RequestURI(),
+		UserID: user,
+		Doc:    doc,
+	}
+	if r.Header.Get(deltahttp.HeaderCapable) != "" {
+		req.HaveClassID = r.Header.Get(deltahttp.HeaderHaveClass)
+		if v, err := strconv.Atoi(r.Header.Get(deltahttp.HeaderHaveVersion)); err == nil {
+			req.HaveVersion = v
+		}
+		for _, h := range deltahttp.ParseHave(r.Header.Get(deltahttp.HeaderHave)) {
+			req.Held = append(req.Held, core.HeldBase{ClassID: h.ClassID, Version: h.Version})
+		}
+		if deltahttp.AcceptsVCDIFF(r.Header.Get(deltahttp.HeaderAccept)) {
+			req.Format = core.FormatVCDIFF
+		}
+	}
+
+	resp, err := s.engine.Process(req)
+	if err != nil {
+		// The engine could not handle the request (e.g. unparseable URL):
+		// stay transparent and serve the document.
+		w.Header().Set("Content-Type", contentType)
+		_, _ = w.Write(doc)
+		return
+	}
+
+	h := w.Header()
+	if resp.ClassID != "" {
+		h.Set(deltahttp.HeaderClass, resp.ClassID)
+	}
+	if resp.LatestVersion > 0 {
+		h.Set(deltahttp.HeaderLatestVersion, strconv.Itoa(resp.LatestVersion))
+	}
+	if resp.Kind == core.KindDelta {
+		enc := deltahttp.EncodingVdelta
+		switch {
+		case resp.Format == core.FormatVCDIFF && resp.Gzipped:
+			enc = deltahttp.EncodingVCDIFFGzip
+		case resp.Format == core.FormatVCDIFF:
+			enc = deltahttp.EncodingVCDIFF
+		case resp.Gzipped:
+			enc = deltahttp.EncodingVdeltaGzip
+		}
+		h.Set(deltahttp.HeaderEncoding, enc)
+		h.Set(deltahttp.HeaderBaseVersion, strconv.Itoa(resp.BaseVersion))
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("Cache-Control", "no-cache")
+		_, _ = w.Write(resp.Payload)
+		return
+	}
+	h.Set("Content-Type", contentType)
+	h.Set("Cache-Control", "no-cache")
+	_, _ = w.Write(doc)
+}
+
+// fetchOrigin retrieves the current document snapshot from the origin.
+func (s *Server) fetchOrigin(r *http.Request) (body []byte, contentType string, status int, err error) {
+	u := *s.origin
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("build origin request: %w", err)
+	}
+	// Forward identity so personalized origins render the right document.
+	if user := userOf(r); user != "" {
+		req.Header.Set(deltahttp.HeaderUser, user)
+	}
+	// Note: a freshly minted uid is not forwarded on this first request;
+	// it takes effect once the browser echoes the cookie back.
+	for _, c := range r.Cookies() {
+		req.AddCookie(c)
+	}
+
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("read origin response: %w", err)
+	}
+	return body, resp.Header.Get("Content-Type"), resp.StatusCode, nil
+}
+
+// userOf extracts the user identity from the request (header, or the "uid"
+// cookie the paper's cookie-based identification corresponds to).
+func userOf(r *http.Request) string {
+	if u := r.Header.Get(deltahttp.HeaderUser); u != "" {
+		return u
+	}
+	if c, err := r.Cookie("uid"); err == nil {
+		return c.Value
+	}
+	return ""
+}

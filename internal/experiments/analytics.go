@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/core"
+	"cbde/internal/trace"
+)
+
+// PErrorRow is one evaluation of the Section IV selection-error bound.
+type PErrorRow struct {
+	N, K       int
+	Bound      float64
+	PerEvict   float64
+	MonteCarlo float64 // simulated rate under the paper's belief model
+}
+
+// PErrorTable evaluates the Section IV bound for the paper's example
+// (N=1000, K=10 => ~8e-11) and smaller configurations where a Monte-Carlo
+// simulation is cheap enough to compare against.
+func PErrorTable(trials int) []PErrorRow {
+	configs := []struct{ n, k int }{
+		{50, 3},
+		{50, 4},
+		{100, 4},
+		{1000, 10}, // the paper's example
+	}
+	rows := make([]PErrorRow, 0, len(configs))
+	for _, c := range configs {
+		row := PErrorRow{
+			N:        c.n,
+			K:        c.k,
+			Bound:    basefile.PErrorBound(c.n, c.k),
+			PerEvict: basefile.PErrorAtEviction(c.n, c.k),
+		}
+		if c.n <= 200 && trials > 0 {
+			row.MonteCarlo = basefile.SimulateSelectionError(c.n, c.k, trials, uint64(c.n*c.k))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatPError renders the Section IV analysis.
+func FormatPError(rows []PErrorRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-4s %12s %14s %12s\n", "N", "K", "bound", "per-eviction", "monte-carlo")
+	for _, r := range rows {
+		mc := "-"
+		if r.MonteCarlo > 0 || (r.N <= 200) {
+			mc = fmt.Sprintf("%.2e", r.MonteCarlo)
+		}
+		fmt.Fprintf(&b, "%-6d %-4d %12.2e %14.2e %12s\n", r.N, r.K, r.Bound, r.PerEvict, mc)
+	}
+	return b.String()
+}
+
+// PrivacyRow is one evaluation of the Section V privacy bounds.
+type PrivacyRow struct {
+	N, M     int
+	P        float64
+	BoundIID float64
+	Exact    float64
+	Decaying float64
+}
+
+// PrivacyTable evaluates the Section V bounds, including the paper's
+// example (p=0.01, N=10, M=5: bound 4.7e-7, exact 2.4e-8).
+func PrivacyTable() []PrivacyRow {
+	configs := []struct {
+		n, m int
+		p    float64
+	}{
+		{5, 2, 0.01},
+		{8, 4, 0.01},
+		{12, 4, 0.01},
+		{10, 5, 0.01}, // the paper's example
+	}
+	rows := make([]PrivacyRow, 0, len(configs))
+	for _, c := range configs {
+		rows = append(rows, PrivacyRow{
+			N: c.n, M: c.m, P: c.p,
+			BoundIID: anonymize.PrivacyBoundIID(c.n, c.m, c.p),
+			Exact:    anonymize.PrivacyExact(c.n, c.m, c.p),
+			Decaying: anonymize.PrivacyBoundDecaying(c.n, c.m, c.p),
+		})
+	}
+	return rows
+}
+
+// FormatPrivacy renders the Section V analysis.
+func FormatPrivacy(rows []PrivacyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %-6s %12s %12s %14s\n", "N", "M", "p", "iid bound", "exact", "decaying bound")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-4d %-4d %-6.2f %12.2e %12.2e %14.2e\n",
+			r.N, r.M, r.P, r.BoundIID, r.Exact, r.Decaying)
+	}
+	return b.String()
+}
+
+// StorageRow compares server-side storage across modes for one site — the
+// scalability ablation motivating the class-based scheme.
+type StorageRow struct {
+	Label     string
+	Mode      core.Mode
+	Classes   int
+	StorageKB float64
+	Savings   float64
+}
+
+// StorageComparison replays one calibrated site under class-based,
+// classless, and classless-per-user modes and reports storage footprints.
+func StorageComparison(scale float64) ([]StorageRow, error) {
+	sw := trace.PaperSites(scale)[0]
+	var rows []StorageRow
+	for _, mode := range []core.Mode{core.ModeClassBased, core.ModeClassless, core.ModeClasslessPerUser} {
+		res, err := Replay(sw, mode)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StorageRow{
+			Label:     sw.Label,
+			Mode:      mode,
+			Classes:   res.Classes,
+			StorageKB: float64(res.StorageBytes) / 1024,
+			Savings:   res.Savings() * 100,
+		})
+	}
+	return rows, nil
+}
+
+// FormatStorage renders the storage ablation.
+func FormatStorage(rows []StorageRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %12s %14s %9s\n", "Mode", "Base-files", "Storage KB", "Savings")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %12d %14.0f %8.1f%%\n", r.Mode, r.Classes, r.StorageKB, r.Savings)
+	}
+	return b.String()
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; timing-sensitive
+// tests skip their wall-clock assertions under instrumentation.
+const raceEnabled = false

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/core"
+	"cbde/internal/trace"
+)
+
+// RebaseRow is one point of the rebase-timeout sweep.
+type RebaseRow struct {
+	Timeout      time.Duration
+	GroupRebases int64
+	BasicRebases int64
+	Savings      float64 // percent
+	BaseKBServer float64 // base distribution after proxy caching
+	BaseKBClient float64 // base downloads across all clients
+}
+
+// AblateRebaseTimeout sweeps the group-rebase timeout over one calibrated
+// workload. The paper introduces the timeout "to control the number of
+// rebases": frequent rebases track content drift closely (smaller deltas)
+// but invalidate every client's base-file, costing full responses and base
+// re-distribution. The sweep makes that trade visible.
+func AblateRebaseTimeout(timeouts []time.Duration, scale float64) ([]RebaseRow, error) {
+	if len(timeouts) == 0 {
+		timeouts = []time.Duration{
+			0, // rebase whenever a better candidate appears
+			time.Minute,
+			10 * time.Minute,
+			time.Hour,
+		}
+	}
+	sw := trace.PaperSites(scale)[0]
+
+	var rows []RebaseRow
+	for _, to := range timeouts {
+		res, err := Replay(sw, core.ModeClassBased, WithEngineConfig(core.Config{
+			Anon: anonymize.Config{M: 2, N: 5},
+			Selector: basefile.Config{
+				SampleProb:    0.2,
+				MaxSamples:    8,
+				RebaseTimeout: to,
+				Seed:          sw.Load.Seed,
+			},
+		}))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RebaseRow{
+			Timeout:      to,
+			GroupRebases: res.GroupRebases,
+			BasicRebases: res.BasicRebases,
+			Savings:      res.Savings() * 100,
+			BaseKBServer: float64(res.BaseBytesServer) / 1024,
+			BaseKBClient: float64(res.BaseBytesClients) / 1024,
+		})
+	}
+	return rows, nil
+}
+
+// FormatRebase renders the rebase-timeout sweep.
+func FormatRebase(rows []RebaseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %9s %14s %14s\n",
+		"Timeout", "Group", "Basic", "Savings", "Base KB (srv)", "Base KB (cli)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %8d %8.1f%% %14.0f %14.0f\n",
+			r.Timeout, r.GroupRebases, r.BasicRebases, r.Savings, r.BaseKBServer, r.BaseKBClient)
+	}
+	return b.String()
+}

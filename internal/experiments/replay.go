@@ -1,0 +1,198 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) from the synthetic substrates: Table II
+// (bandwidth savings on three sites), Table III (base-file selection
+// algorithms), Table IV (anonymization levels), the Section VI-A latency
+// analysis, the Section VI-B grouping statistics, the Section VI-C capacity
+// comparison, and the analytic error-probability examples of Sections IV
+// and V.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/core"
+	"cbde/internal/trace"
+)
+
+// ReplayResult summarizes one trace replayed through an engine, with a
+// simulated population of delta-capable clients that keep their base-files
+// fresh.
+type ReplayResult struct {
+	Label    string
+	Mode     core.Mode
+	Requests int
+
+	DirectBytes int64 // traffic without delta-encoding
+	DeltaBytes  int64 // delta payloads shipped
+	FullBytes   int64 // full documents shipped (cold classes, rebases)
+
+	BaseBytesClients int64 // base-file bytes delivered to clients (all fetches)
+	BaseBytesServer  int64 // base-file bytes leaving the server assuming a
+	// proxy-cache absorbs repeat fetches (one per version)
+
+	DeltaResponses int64
+	FullResponses  int64
+
+	Classes      int
+	DistinctDocs int
+	StorageBytes int64
+	GroupRebases int64
+	BasicRebases int64
+
+	ProbesPerURL float64 // grouping effort (class-based mode only)
+}
+
+// Savings is the paper's Table II number: 1 - (deltas+fulls)/direct.
+// Base-file distribution is excluded, as base-files are cachable objects
+// absorbed by proxy-caches.
+func (r ReplayResult) Savings() float64 {
+	if r.DirectBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.DeltaBytes+r.FullBytes)/float64(r.DirectBytes)
+}
+
+// SavingsWithBases also charges base-file distribution (server-side, after
+// proxy caching) against the savings.
+func (r ReplayResult) SavingsWithBases() float64 {
+	if r.DirectBytes == 0 {
+		return 0
+	}
+	sent := r.DeltaBytes + r.FullBytes + r.BaseBytesServer
+	return 1 - float64(sent)/float64(r.DirectBytes)
+}
+
+// ReplayOption tweaks a replay.
+type ReplayOption func(*replayConfig)
+
+type replayConfig struct {
+	engineCfg    core.Config
+	responseHook func(docLen, wireLen int, delta bool)
+}
+
+// WithEngineConfig overrides the engine configuration used for the replay
+// (Mode is still forced to the Replay argument).
+func WithEngineConfig(cfg core.Config) ReplayOption {
+	return func(rc *replayConfig) { rc.engineCfg = cfg }
+}
+
+// WithResponseHook observes every response: the document size, the bytes
+// that went on the wire for it, and whether it was a delta. Experiments use
+// this for per-request latency modeling.
+func WithResponseHook(hook func(docLen, wireLen int, delta bool)) ReplayOption {
+	return func(rc *replayConfig) { rc.responseHook = hook }
+}
+
+// Replay runs the workload through a fresh engine in the given mode and
+// simulates clients that fetch (and refresh) base-files.
+func Replay(sw trace.SiteWorkload, mode core.Mode, opts ...ReplayOption) (ReplayResult, error) {
+	rc := replayConfig{
+		engineCfg: core.Config{
+			Anon: anonymize.Config{M: 2, N: 5},
+			Selector: basefile.Config{
+				SampleProb: 0.2,
+				MaxSamples: 8,
+				// Rebases invalidate client base-files; a timeout keeps
+				// them rare (Section IV controls rebases the same way).
+				RebaseTimeout: 10 * time.Minute,
+				Seed:          sw.Load.Seed,
+			},
+		},
+	}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	rc.engineCfg.Mode = mode
+
+	reqs := trace.Generate(sw.Site, sw.Load)
+	// Deterministic clock: the trace timestamps drive the engine's time.
+	idx := 0
+	rc.engineCfg.Now = func() time.Time {
+		if idx < len(reqs) {
+			return reqs[idx].Time
+		}
+		return reqs[len(reqs)-1].Time
+	}
+
+	eng, err := core.NewEngine(rc.engineCfg)
+	if err != nil {
+		return ReplayResult{}, fmt.Errorf("experiments: new engine: %w", err)
+	}
+
+	res := ReplayResult{Label: sw.Label, Mode: mode, Requests: len(reqs)}
+	held := make(map[string]map[string]int) // user -> class -> held version
+	seenVersions := make(map[string]bool)   // class#version distributed once (proxy)
+	distinct := make(map[string]bool)
+
+	for i, r := range reqs {
+		idx = i
+		doc, err := sw.Site.Render(r.Dept, r.Item, r.User, r.Tick)
+		if err != nil {
+			return ReplayResult{}, fmt.Errorf("experiments: render %s: %w", r.URL, err)
+		}
+		distinct[r.URL+"|"+userKeyFor(mode, r.User)] = true
+
+		creq := core.Request{URL: r.URL, UserID: r.User, Doc: doc}
+		// The client advertises every base it holds; the server picks the
+		// one matching the document's class.
+		for classID, v := range held[r.User] {
+			creq.Held = append(creq.Held, core.HeldBase{ClassID: classID, Version: v})
+		}
+
+		resp, err := eng.Process(creq)
+		if err != nil {
+			return ReplayResult{}, fmt.Errorf("experiments: process %s: %w", r.URL, err)
+		}
+
+		if resp.Kind == core.KindDelta {
+			res.DeltaResponses++
+			res.DeltaBytes += int64(len(resp.Payload))
+		} else {
+			res.FullResponses++
+			res.FullBytes += int64(len(doc))
+		}
+		res.DirectBytes += int64(len(doc))
+		if rc.responseHook != nil {
+			rc.responseHook(len(doc), resp.WireSize(len(doc)), resp.Kind == core.KindDelta)
+		}
+
+		// Client refreshes its base when the server advertises a newer one.
+		if resp.LatestVersion > 0 {
+			if held[r.User] == nil {
+				held[r.User] = make(map[string]int)
+			}
+			if held[r.User][resp.ClassID] < resp.LatestVersion {
+				if base, ok := eng.BaseFile(resp.ClassID, resp.LatestVersion); ok {
+					held[r.User][resp.ClassID] = resp.LatestVersion
+					res.BaseBytesClients += int64(len(base))
+					key := fmt.Sprintf("%s#%d", resp.ClassID, resp.LatestVersion)
+					if !seenVersions[key] {
+						seenVersions[key] = true
+						res.BaseBytesServer += int64(len(base))
+					}
+				}
+			}
+		}
+	}
+
+	st := eng.Stats()
+	res.Classes = st.Classes
+	res.StorageBytes = st.StorageBytes
+	res.GroupRebases = st.GroupRebases
+	res.BasicRebases = st.BasicRebases
+	res.DistinctDocs = len(distinct)
+	if gs, ok := eng.GroupingStats(); ok {
+		res.ProbesPerURL = gs.ProbesPerURL
+	}
+	return res, nil
+}
+
+func userKeyFor(mode core.Mode, user string) string {
+	if mode == core.ModeClasslessPerUser {
+		return user
+	}
+	return ""
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cbde/internal/core"
+	"cbde/internal/netsim"
+	"cbde/internal/trace"
+)
+
+// UserLatencyReport reproduces the abstract's headline latency claim:
+// class-based delta-encoding "reduces ... the latency perceived by most
+// users by a factor of 10 on average" (over low-bandwidth access links).
+// It replays a workload, models each response's download time over a
+// network path with and without delta-encoding, and reports the
+// distribution of per-request speedups.
+type UserLatencyReport struct {
+	Label string
+	Path  string
+
+	Requests int
+
+	MeanDirectMs float64 // downloading every document in full
+	MeanCBDEMs   float64 // downloading what the delta-server actually sent
+
+	MeanRatio   float64 // mean per-request direct/CBDE latency ratio
+	MedianRatio float64
+	P90Ratio    float64
+	// FracAtLeast5x is the fraction of requests sped up 5x or more —
+	// "most users" in the abstract's phrasing.
+	FracAtLeast5x float64
+}
+
+// UserLatency replays the given calibrated site (1-based index) and models
+// per-request latencies over the high-bandwidth and 56k-modem paths of
+// Section VI-A.
+func UserLatency(siteIdx int, scale float64) ([]UserLatencyReport, error) {
+	if siteIdx < 1 || siteIdx > 3 {
+		return nil, fmt.Errorf("experiments: site index %d out of range", siteIdx)
+	}
+	sw := trace.PaperSites(scale)[siteIdx-1]
+
+	paths := []struct {
+		name string
+		path netsim.Path
+	}{
+		{"high-bw", netsim.HighBandwidth()},
+		{"modem-56k", netsim.Modem56k()},
+	}
+
+	// One replay collects the (docLen, wireLen) pairs; the latency model
+	// is then evaluated per path.
+	type sizes struct{ doc, wire int }
+	var responses []sizes
+	_, err := Replay(sw, core.ModeClassBased, WithResponseHook(func(docLen, wireLen int, _ bool) {
+		responses = append(responses, sizes{doc: docLen, wire: wireLen})
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if len(responses) == 0 {
+		return nil, fmt.Errorf("experiments: replay produced no responses")
+	}
+
+	var out []UserLatencyReport
+	for _, p := range paths {
+		rep := UserLatencyReport{Label: sw.Label, Path: p.name, Requests: len(responses)}
+		ratios := make([]float64, 0, len(responses))
+		var sumDirect, sumCBDE time.Duration
+		atLeast5 := 0
+		for _, r := range responses {
+			direct := p.path.TransferLatency(r.doc)
+			cbde := p.path.TransferLatency(r.wire)
+			sumDirect += direct
+			sumCBDE += cbde
+			ratio := 1.0
+			if cbde > 0 {
+				ratio = float64(direct) / float64(cbde)
+			}
+			ratios = append(ratios, ratio)
+			if ratio >= 5 {
+				atLeast5++
+			}
+		}
+		n := float64(len(responses))
+		rep.MeanDirectMs = float64(sumDirect.Milliseconds()) / n
+		rep.MeanCBDEMs = float64(sumCBDE.Milliseconds()) / n
+		for _, r := range ratios {
+			rep.MeanRatio += r
+		}
+		rep.MeanRatio /= n
+		sort.Float64s(ratios)
+		rep.MedianRatio = ratios[len(ratios)/2]
+		rep.P90Ratio = ratios[len(ratios)*9/10]
+		rep.FracAtLeast5x = float64(atLeast5) / n
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// FormatUserLatency renders the user-latency distribution reports.
+func FormatUserLatency(reports []UserLatencyReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %9s %12s %11s %10s %10s %8s %8s\n",
+		"Path", "Requests", "Direct ms", "CBDE ms", "MeanRatio", "Median", "P90", ">=5x")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-10s %9d %12.0f %11.0f %10.1f %10.1f %8.1f %7.0f%%\n",
+			r.Path, r.Requests, r.MeanDirectMs, r.MeanCBDEMs,
+			r.MeanRatio, r.MedianRatio, r.P90Ratio, r.FracAtLeast5x*100)
+	}
+	return b.String()
+}

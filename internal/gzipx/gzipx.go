@@ -1,0 +1,67 @@
+// Package gzipx wraps compress/gzip with pooled writers and readers.
+//
+// The paper compresses every delta with gzip before shipping it (Section
+// VI-A, footnote 8); roughly a factor of 2 of the reported savings comes
+// from compression. The delta-server compresses on every request, so writer
+// reuse matters.
+package gzipx
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sync"
+)
+
+var writerPool = sync.Pool{
+	New: func() any {
+		w, err := gzip.NewWriterLevel(io.Discard, gzip.BestCompression)
+		if err != nil {
+			// Only reachable with an invalid level constant.
+			panic(fmt.Sprintf("gzipx: NewWriterLevel: %v", err))
+		}
+		return w
+	},
+}
+
+// Compress returns the gzip compression of data at BestCompression level.
+func Compress(data []byte) []byte {
+	w := writerPool.Get().(*gzip.Writer)
+	defer writerPool.Put(w)
+
+	var buf bytes.Buffer
+	buf.Grow(len(data)/3 + 64)
+	w.Reset(&buf)
+	// Writes to a bytes.Buffer cannot fail.
+	_, _ = w.Write(data)
+	_ = w.Close()
+	return buf.Bytes()
+}
+
+// Decompress inflates gzip-compressed data.
+func Decompress(data []byte) ([]byte, error) {
+	r, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("gzipx: open stream: %w", err)
+	}
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("gzipx: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// Ratio returns the compression ratio original/compressed for data, or 1 for
+// empty input. It is a convenience for experiment reporting.
+func Ratio(data []byte) float64 {
+	if len(data) == 0 {
+		return 1
+	}
+	c := Compress(data)
+	if len(c) == 0 {
+		return 1
+	}
+	return float64(len(data)) / float64(len(c))
+}

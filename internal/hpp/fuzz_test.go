@@ -1,0 +1,49 @@
+package hpp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBinding hardens the binding codec against arbitrary bytes.
+func FuzzDecodeBinding(f *testing.F) {
+	f.Add(EncodeBinding(Binding{values: [][]byte{[]byte("a"), []byte("bb")}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBinding(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the same bytes.
+		if !bytes.Equal(EncodeBinding(b), data) {
+			t.Fatal("decode/encode not an identity on accepted input")
+		}
+	})
+}
+
+// FuzzBind verifies the bind/render identity on arbitrary documents.
+func FuzzBind(f *testing.F) {
+	tpl, err := Build([][]byte{
+		[]byte("<html><h1>Fixed Heading Text</h1><p>AAA</p><footer>fixed footer text</footer></html>"),
+		[]byte("<html><h1>Fixed Heading Text</h1><p>BBBBB</p><footer>fixed footer text</footer></html>"),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte("<html><h1>Fixed Heading Text</h1><p>CC</p><footer>fixed footer text</footer></html>"))
+	f.Add([]byte("unrelated"))
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		b, err := tpl.Bind(doc)
+		if err != nil {
+			return // no-match is always acceptable
+		}
+		got, err := tpl.Render(b)
+		if err != nil {
+			t.Fatalf("Render after successful Bind: %v", err)
+		}
+		if !bytes.Equal(got, doc) {
+			t.Fatal("bind/render identity violated")
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package hpp implements the HTML macro-preprocessing baseline of Douglis,
+// Haro and Rabinovich (USITS '97), which the paper's related work compares
+// against: "separate the static and dynamic portions of a document. Static
+// parts are cached as usual, while dynamic parts are obtained on each
+// access from the server... the size of network transfers are typically 2
+// to 8 times smaller than the original sizes. This idea is simpler than
+// delta-encoding, but it is less efficient."
+//
+// A Template is derived from sample snapshots of a document: byte regions
+// stable across every sample form the cacheable static skeleton; the gaps
+// are slots. Serving a request then ships only the slot values (a Binding);
+// the client holds the template and re-renders. When a document stops
+// matching its template (structure changed), the server falls back to a
+// full transfer and rebuilds.
+package hpp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Bind and DecodeBinding.
+var (
+	// ErrNoMatch reports that a document no longer fits the template's
+	// static skeleton; the caller should serve the full document and
+	// rebuild the template.
+	ErrNoMatch = errors.New("hpp: document does not match template")
+	// ErrCorrupt reports a malformed binding.
+	ErrCorrupt = errors.New("hpp: corrupt binding")
+)
+
+// MinStaticRun is the smallest stable byte run kept as static content.
+// Shorter runs are folded into the surrounding slots: a tiny static island
+// costs more in slot bookkeeping than resending it, and short runs inside
+// genuinely dynamic regions are often chance coincidences that would make
+// the template brittle.
+const MinStaticRun = 16
+
+// segment is either static bytes or a slot.
+type segment struct {
+	static []byte // nil for a slot
+	isSlot bool
+}
+
+// Template is the cacheable static skeleton of a dynamic document.
+type Template struct {
+	segments []segment
+	slots    int
+	size     int // total static bytes
+}
+
+// Build derives a template from two or more snapshots of the same dynamic
+// document. Regions stable across every snapshot become static; everything
+// else becomes slots. Build returns an error when fewer than two samples
+// are given (one sample cannot distinguish static from dynamic content).
+func Build(samples [][]byte) (*Template, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("hpp: need at least 2 samples, got %d", len(samples))
+	}
+	ref := samples[0]
+
+	// stable[i] reports whether ref[i] is part of a run shared, in order,
+	// by every other sample. We compute it by intersecting pairwise common
+	// subsequences: greedy in-order matching of MinStaticRun-grained
+	// pieces, which suits templated documents where static content keeps
+	// its order.
+	stable := make([]bool, len(ref))
+	for i := range stable {
+		stable[i] = true
+	}
+	for _, other := range samples[1:] {
+		markUnstable(ref, other, stable)
+	}
+
+	// Fold short static islands into slots.
+	foldShortRuns(stable)
+
+	// Emit segments.
+	t := &Template{}
+	i := 0
+	for i < len(ref) {
+		j := i
+		for j < len(ref) && stable[j] == stable[i] {
+			j++
+		}
+		if stable[i] {
+			seg := make([]byte, j-i)
+			copy(seg, ref[i:j])
+			t.segments = append(t.segments, segment{static: seg})
+			t.size += j - i
+		} else {
+			t.segments = append(t.segments, segment{isSlot: true})
+			t.slots++
+		}
+		i = j
+	}
+	// A document may also grow content at the very end.
+	if len(t.segments) == 0 || !t.segments[len(t.segments)-1].isSlot {
+		t.segments = append(t.segments, segment{isSlot: true})
+		t.slots++
+	}
+	return t, nil
+}
+
+// markUnstable clears stable[i] for every ref byte that does not appear in
+// an in-order common run with other.
+func markUnstable(ref, other []byte, stable []bool) {
+	const grain = MinStaticRun
+	oPos := 0
+	i := 0
+	for i+grain <= len(ref) {
+		if !stable[i] {
+			i++
+			continue
+		}
+		// Find ref[i:i+grain] in other at or after oPos.
+		rel := bytes.Index(other[oPos:], ref[i:i+grain])
+		if rel < 0 {
+			stable[i] = false
+			i++
+			continue
+		}
+		// Extend the match as far as it goes.
+		start := oPos + rel
+		n := grain
+		for i+n < len(ref) && start+n < len(other) && ref[i+n] == other[start+n] {
+			n++
+		}
+		oPos = start + n
+		i += n
+	}
+	for ; i < len(ref); i++ {
+		stable[i] = false
+	}
+}
+
+// foldShortRuns turns static runs shorter than MinStaticRun into slot
+// space.
+func foldShortRuns(stable []bool) {
+	i := 0
+	for i < len(stable) {
+		if !stable[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(stable) && stable[j] {
+			j++
+		}
+		if j-i < MinStaticRun {
+			for k := i; k < j; k++ {
+				stable[k] = false
+			}
+		}
+		i = j
+	}
+}
+
+// Slots returns the number of dynamic slots in the template.
+func (t *Template) Slots() int { return t.slots }
+
+// StaticBytes returns the total size of the cacheable static skeleton.
+func (t *Template) StaticBytes() int { return t.size }
+
+// Binding is the per-request dynamic content: one value per slot.
+type Binding struct {
+	values [][]byte
+}
+
+// WireSize returns the bytes a binding puts on the network: slot values
+// plus per-slot varint length framing.
+func (b Binding) WireSize() int {
+	total := 0
+	for _, v := range b.values {
+		total += uvarintLen(uint64(len(v))) + len(v)
+	}
+	return total
+}
+
+// Bind extracts the slot values that reproduce doc from the template. It
+// returns ErrNoMatch when doc's static skeleton has changed.
+func (t *Template) Bind(doc []byte) (Binding, error) {
+	var b Binding
+	pos := 0
+	for si, seg := range t.segments {
+		if seg.isSlot {
+			// Value runs until the next static segment (or end of doc).
+			next := t.nextStatic(si)
+			if next == nil {
+				b.values = append(b.values, clone(doc[pos:]))
+				pos = len(doc)
+				continue
+			}
+			rel := bytes.Index(doc[pos:], next)
+			if rel < 0 {
+				return Binding{}, ErrNoMatch
+			}
+			b.values = append(b.values, clone(doc[pos:pos+rel]))
+			pos += rel
+			continue
+		}
+		if !bytes.HasPrefix(doc[pos:], seg.static) {
+			return Binding{}, ErrNoMatch
+		}
+		pos += len(seg.static)
+	}
+	if pos != len(doc) {
+		return Binding{}, ErrNoMatch
+	}
+	return b, nil
+}
+
+// nextStatic returns the static bytes of the first non-slot segment after
+// index si, or nil.
+func (t *Template) nextStatic(si int) []byte {
+	for _, seg := range t.segments[si+1:] {
+		if !seg.isSlot {
+			return seg.static
+		}
+	}
+	return nil
+}
+
+// Render reassembles the document from the template and a binding.
+func (t *Template) Render(b Binding) ([]byte, error) {
+	if len(b.values) != t.slots {
+		return nil, fmt.Errorf("hpp: binding has %d values, template has %d slots", len(b.values), t.slots)
+	}
+	out := make([]byte, 0, t.size+b.WireSize())
+	vi := 0
+	for _, seg := range t.segments {
+		if seg.isSlot {
+			out = append(out, b.values[vi]...)
+			vi++
+			continue
+		}
+		out = append(out, seg.static...)
+	}
+	return out, nil
+}
+
+// EncodeBinding serializes a binding for the wire.
+func EncodeBinding(b Binding) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(b.values)))
+	for _, v := range b.values {
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	return out
+}
+
+// DecodeBinding parses a serialized binding.
+func DecodeBinding(data []byte) (Binding, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n > uint64(len(data)) {
+		return Binding{}, fmt.Errorf("%w: bad value count", ErrCorrupt)
+	}
+	data = data[used:]
+	var b Binding
+	for i := uint64(0); i < n; i++ {
+		l, used := binary.Uvarint(data)
+		if used <= 0 {
+			return Binding{}, fmt.Errorf("%w: bad value length", ErrCorrupt)
+		}
+		data = data[used:]
+		if l > uint64(len(data)) {
+			return Binding{}, fmt.Errorf("%w: value overruns data", ErrCorrupt)
+		}
+		b.values = append(b.values, clone(data[:l]))
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return Binding{}, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return b, nil
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}

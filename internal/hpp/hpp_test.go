@@ -1,0 +1,377 @@
+package hpp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cbde/internal/gzipx"
+	"cbde/internal/origin"
+	"cbde/internal/vdelta"
+)
+
+func snapshotSite() *origin.Site {
+	return origin.NewSite(origin.Config{
+		Host:          "www.hpp.com",
+		Depts:         []origin.Dept{{Name: "news", Items: 4}},
+		TemplateBytes: 12000,
+		ItemBytes:     1500,
+		ChurnBytes:    600,
+		Seed:          31,
+	})
+}
+
+func snapshots(t *testing.T, site *origin.Site, item, n int) [][]byte {
+	t.Helper()
+	out := make([][]byte, n)
+	for i := range out {
+		doc, err := site.Render("news", item, "", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = doc
+	}
+	return out
+}
+
+func TestBuildRequiresTwoSamples(t *testing.T) {
+	if _, err := Build(nil); err == nil {
+		t.Error("Build(nil) should fail")
+	}
+	if _, err := Build([][]byte{[]byte("one")}); err == nil {
+		t.Error("Build with one sample should fail")
+	}
+}
+
+func TestBuildSeparatesStaticFromDynamic(t *testing.T) {
+	site := snapshotSite()
+	samples := snapshots(t, site, 0, 3)
+	tpl, err := Build(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tpl.Slots() == 0 {
+		t.Fatal("no slots found in a churning document")
+	}
+	// The static skeleton should capture most of the document (template +
+	// item content are stable; only churn varies).
+	if tpl.StaticBytes() < len(samples[0])/2 {
+		t.Errorf("static skeleton %d bytes of %d; template content not captured",
+			tpl.StaticBytes(), len(samples[0]))
+	}
+}
+
+func TestBindRenderRoundTrip(t *testing.T) {
+	site := snapshotSite()
+	tpl, err := Build(snapshots(t, site, 0, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh snapshots the template has never seen. A no-match means HPP
+	// falls back to a full transfer (allowed occasionally); a successful
+	// bind must round-trip exactly and transfer far less.
+	bound := 0
+	for tick := 10; tick < 16; tick++ {
+		doc, err := site.Render("news", 0, "", tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binding, err := tpl.Bind(doc)
+		if errors.Is(err, ErrNoMatch) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		bound++
+		got, err := tpl.Render(binding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, doc) {
+			t.Fatalf("tick %d: render mismatch", tick)
+		}
+		if binding.WireSize() >= len(doc)/2 {
+			t.Errorf("tick %d: binding %d bytes for %d-byte doc, want 2x+ reduction",
+				tick, binding.WireSize(), len(doc))
+		}
+	}
+	if bound < 4 {
+		t.Errorf("only %d of 6 fresh snapshots bound; template too brittle", bound)
+	}
+}
+
+func TestTransferReduction2to8x(t *testing.T) {
+	// Douglis et al.: "network transfers are typically 2 to 8 times
+	// smaller than the original sizes".
+	site := snapshotSite()
+	tpl, err := Build(snapshots(t, site, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var docBytes, wireBytes int
+	for tick := 20; tick < 30; tick++ {
+		doc, err := site.Render("news", 1, "", tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docBytes += len(doc)
+		b, err := tpl.Bind(doc)
+		if errors.Is(err, ErrNoMatch) {
+			wireBytes += len(doc) // fallback: full transfer
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		wireBytes += b.WireSize()
+	}
+	reduction := float64(docBytes) / float64(wireBytes)
+	if reduction < 2 {
+		t.Errorf("reduction %.1fx, Douglis et al. report at least 2x", reduction)
+	}
+}
+
+func TestDeltaEncodingBeatsHPP(t *testing.T) {
+	// The paper: "Clearly, delta-encoding exploits more redundancy than
+	// this scheme." Compare gzipped deltas (as shipped by the
+	// delta-server) against HPP bindings over the same snapshots.
+	site := snapshotSite()
+	samples := snapshots(t, site, 2, 5)
+	tpl, err := Build(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := samples[len(samples)-1]
+	coder := vdelta.NewCoder()
+
+	var hppBytes, deltaBytes int
+	for tick := 40; tick < 50; tick++ {
+		doc, err := site.Render("news", 2, "", tick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, err := tpl.Bind(doc); err == nil {
+			hppBytes += b.WireSize()
+		} else {
+			hppBytes += len(doc) // fallback: full transfer
+		}
+		d, err := coder.Encode(base, doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deltaBytes += len(gzipx.Compress(d))
+	}
+	if deltaBytes >= hppBytes {
+		t.Errorf("delta+gzip %d bytes not below HPP %d bytes", deltaBytes, hppBytes)
+	}
+}
+
+func TestBindNoMatch(t *testing.T) {
+	site := snapshotSite()
+	tpl, err := Build(snapshots(t, site, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Bind([]byte("a completely different document")); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("got %v, want ErrNoMatch", err)
+	}
+	// A structurally changed document (static content reordered).
+	doc, _ := site.Render("news", 0, "", 0)
+	reversed := make([]byte, len(doc))
+	for i, c := range doc {
+		reversed[len(doc)-1-i] = c
+	}
+	if _, err := tpl.Bind(reversed); !errors.Is(err, ErrNoMatch) {
+		t.Errorf("got %v, want ErrNoMatch for reordered doc", err)
+	}
+}
+
+func TestRenderWrongSlotCount(t *testing.T) {
+	site := snapshotSite()
+	tpl, err := Build(snapshots(t, site, 0, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tpl.Render(Binding{}); err == nil {
+		t.Error("Render with empty binding should fail")
+	}
+}
+
+func TestBindingCodecRoundTrip(t *testing.T) {
+	b := Binding{values: [][]byte{[]byte("alpha"), nil, []byte("gamma with spaces")}}
+	enc := EncodeBinding(b)
+	got, err := DecodeBinding(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.values) != 3 {
+		t.Fatalf("got %d values", len(got.values))
+	}
+	for i := range b.values {
+		if !bytes.Equal(got.values[i], b.values[i]) {
+			t.Errorf("value %d = %q, want %q", i, got.values[i], b.values[i])
+		}
+	}
+}
+
+func TestDecodeBindingErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{0xff}, // bad varint
+		EncodeBinding(Binding{values: [][]byte{[]byte("x")}})[:2],           // truncated
+		append(EncodeBinding(Binding{values: [][]byte{[]byte("x")}}), 0xAA), // trailing
+	}
+	for i, data := range bad {
+		if _, err := DecodeBinding(data); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestQuickBindingCodec(t *testing.T) {
+	f := func(values [][]byte) bool {
+		b := Binding{values: values}
+		got, err := DecodeBinding(EncodeBinding(b))
+		if err != nil {
+			return false
+		}
+		if len(got.values) != len(values) {
+			return false
+		}
+		for i := range values {
+			if !bytes.Equal(got.values[i], values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBindRenderIdentity(t *testing.T) {
+	// Property: whenever Bind succeeds, Render reproduces the document
+	// byte-for-byte.
+	site := snapshotSite()
+	var samples [][]byte
+	for i := 0; i < 3; i++ {
+		doc, err := site.Render("news", 3, "", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, doc)
+	}
+	tpl, err := Build(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(tick uint8) bool {
+		doc, err := site.Render("news", 3, "", int(tick))
+		if err != nil {
+			return false
+		}
+		b, err := tpl.Bind(doc)
+		if err != nil {
+			return true // no-match is allowed; wrong render is not
+		}
+		got, err := tpl.Render(b)
+		return err == nil && bytes.Equal(got, doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHandCraftedTemplate(t *testing.T) {
+	mk := func(price, stock string) []byte {
+		return []byte("<html><body><h1>Widget Store Catalog</h1>" +
+			"<p>price: " + price + "</p>" +
+			"<p>stock level: " + stock + "</p>" +
+			"<footer>thanks for shopping with us</footer></body></html>")
+	}
+	tpl, err := Build([][]byte{mk("19.99", "12"), mk("21.50", "7"), mk("18.00", "441")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := mk("99.99", "0")
+	b, err := tpl.Bind(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tpl.Render(b)
+	if err != nil || !bytes.Equal(got, doc) {
+		t.Fatalf("hand-crafted round trip failed: %v", err)
+	}
+	var joined []string
+	for _, v := range b.values {
+		joined = append(joined, string(v))
+	}
+	all := strings.Join(joined, "|")
+	if !strings.Contains(all, "99.99") || !strings.Contains(all, "0") {
+		t.Errorf("dynamic values missing from binding: %q", all)
+	}
+	if b.WireSize() > 40 {
+		t.Errorf("binding %d bytes for two tiny dynamic fields", b.WireSize())
+	}
+}
+
+func TestTemplatePersonalizedDocsAcrossUsers(t *testing.T) {
+	// Building across users marks personal blocks dynamic; binding a new
+	// user's page must reproduce it exactly.
+	site := origin.NewSite(origin.Config{
+		Host:          "www.hpp.com",
+		Depts:         []origin.Dept{{Name: "portal", Items: 2}},
+		TemplateBytes: 8000,
+		Personalized:  true,
+		Seed:          77,
+	})
+	var samples [][]byte
+	for i, u := range []string{"alice", "bob", "carol", "dina", "evan"} {
+		doc, err := site.Render("portal", 0, u, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, doc)
+	}
+	tpl, err := Build(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := site.Render("portal", 0, "dave", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tpl.Bind(doc)
+	if errors.Is(err, ErrNoMatch) {
+		t.Skip("template did not transfer to a fresh user on this seed")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tpl.Render(b)
+	if err != nil || !bytes.Equal(got, doc) {
+		t.Fatal("personalized round trip failed")
+	}
+	var all []byte
+	for _, v := range b.values {
+		all = append(all, v...)
+	}
+	if !bytes.Contains(all, []byte("dave")) {
+		t.Error("user-specific content not in the dynamic binding")
+	}
+}
+
+func ExampleBuild() {
+	page := func(headline string) []byte {
+		return []byte("<html><h1>Daily News Network</h1><p>" + headline + "</p><footer>copyright 2002, all rights reserved</footer></html>")
+	}
+	tpl, _ := Build([][]byte{page("markets rally"), page("rain expected")})
+	b, _ := tpl.Bind(page("election results are in tonight"))
+	fmt.Printf("static %d bytes cached; %d bytes on the wire\n", tpl.StaticBytes(), b.WireSize())
+	// Output: static 99 bytes cached; 33 bytes on the wire
+}

@@ -1,0 +1,301 @@
+// Package integration exercises the full Figure 2 deployment over real
+// localhost HTTP: clients -> proxy-cache -> delta-server -> web-server.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/core"
+	"cbde/internal/deltaclient"
+	"cbde/internal/deltaserver"
+	"cbde/internal/origin"
+	"cbde/internal/proxycache"
+)
+
+// chain is the full deployment of Figure 2.
+type chain struct {
+	site   *origin.Site
+	engine *core.Engine
+	proxy  *proxycache.Cache
+	// URLs for each hop.
+	originURL, serverURL, proxyURL string
+}
+
+func newChain(t *testing.T, cfg core.Config) *chain {
+	t.Helper()
+	site := origin.NewSite(origin.Config{
+		Host:  "www.shop.com",
+		Style: origin.StylePathSegments,
+		Depts: []origin.Dept{
+			{Name: "laptops", Items: 12},
+			{Name: "desktops", Items: 12},
+		},
+		TemplateBytes: 12000,
+		ItemBytes:     1200,
+		ChurnBytes:    500,
+		Personalized:  true,
+		Seed:          77,
+	})
+	originSrv := httptest.NewServer(site.Handler())
+	t.Cleanup(originSrv.Close)
+
+	if cfg.Anon.N == 0 {
+		cfg.Anon = anonymize.Config{M: 1, N: 3}
+	}
+	if cfg.Now == nil {
+		var mu sync.Mutex
+		now := time.Unix(1_000_000, 0)
+		cfg.Now = func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			now = now.Add(time.Second)
+			return now
+		}
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := deltaserver.New(originSrv.URL, eng, deltaserver.WithPublicHost("www.shop.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSrv := httptest.NewServer(srv)
+	t.Cleanup(serverSrv.Close)
+
+	proxy, err := proxycache.New(serverSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxySrv := httptest.NewServer(proxy)
+	t.Cleanup(proxySrv.Close)
+
+	return &chain{
+		site:      site,
+		engine:    eng,
+		proxy:     proxy,
+		originURL: originSrv.URL,
+		serverURL: serverSrv.URL,
+		proxyURL:  proxySrv.URL,
+	}
+}
+
+func (c *chain) client(user string) *deltaclient.Client {
+	return deltaclient.New(c.proxyURL, deltaclient.WithUser(user))
+}
+
+// warm pushes distinct-user traffic through until anonymization completes.
+func (c *chain) warm(t *testing.T, dept string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		cl := c.client(fmt.Sprintf("warm-%s-%d", dept, i))
+		if _, err := cl.Get("/" + dept + "/1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFullChainByteAccuracy(t *testing.T) {
+	c := newChain(t, core.Config{})
+	c.warm(t, "laptops", 6)
+
+	cl := c.client("alice")
+	for tick := 0; tick < 4; tick++ {
+		for item := 0; item < 3; item++ {
+			doc, err := cl.Get(fmt.Sprintf("/laptops/%d", item))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.site.Render("laptops", item, "alice", c.site.Tick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(doc, want) {
+				t.Fatalf("tick %d item %d: reconstruction mismatch (%d vs %d bytes)",
+					tick, item, len(doc), len(want))
+			}
+		}
+		c.site.Advance(1)
+	}
+	if st := cl.Stats(); st.DeltaResponses == 0 {
+		t.Error("client never received a delta through the full chain")
+	}
+}
+
+func TestProxyCacheAbsorbsBaseFiles(t *testing.T) {
+	c := newChain(t, core.Config{})
+	c.warm(t, "laptops", 6)
+
+	// Two fresh clients request the same document; both need the base.
+	cl1 := c.client("first")
+	cl2 := c.client("second")
+	if _, err := cl1.Get("/laptops/2"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.proxy.Stats()
+	if _, err := cl2.Get("/laptops/2"); err != nil {
+		t.Fatal(err)
+	}
+	after := c.proxy.Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("second client's base fetch not served from the proxy cache: %+v -> %+v", before, after)
+	}
+	if cl2.Stats().BaseFetches != 1 {
+		t.Errorf("second client base fetches = %d, want 1", cl2.Stats().BaseFetches)
+	}
+}
+
+func TestDynamicDocumentsNotCachedByProxy(t *testing.T) {
+	c := newChain(t, core.Config{})
+	c.warm(t, "laptops", 4)
+	cl := c.client("u")
+	if _, err := cl.Get("/laptops/3"); err != nil {
+		t.Fatal(err)
+	}
+	c.site.Advance(1)
+	doc, err := cl.Get("/laptops/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.site.Render("laptops", 3, "u", c.site.Tick())
+	if !bytes.Equal(doc, want) {
+		t.Error("proxy served a stale dynamic document")
+	}
+}
+
+func TestBandwidthSavingsThroughChain(t *testing.T) {
+	c := newChain(t, core.Config{})
+	c.warm(t, "laptops", 6)
+
+	cl := c.client("steady")
+	var docVolume int64
+	for i := 0; i < 30; i++ {
+		if i%6 == 5 {
+			c.site.Advance(1)
+		}
+		doc, err := cl.Get(fmt.Sprintf("/laptops/%d", i%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docVolume += int64(len(doc))
+	}
+	st := cl.Stats()
+	wire := st.PayloadBytes + st.BaseBytes
+	if wire*2 > docVolume {
+		t.Errorf("wire bytes %d vs document volume %d: want >2x end-to-end savings", wire, docVolume)
+	}
+}
+
+func TestRebaseMidRunIsSeamless(t *testing.T) {
+	c := newChain(t, core.Config{
+		Anon:          anonymize.Config{M: 1, N: 2},
+		MaxDeltaRatio: 0.3,
+		Selector:      basefile.Config{SampleProb: 0.5, MaxSamples: 4, Seed: 3},
+	})
+	c.warm(t, "laptops", 5)
+
+	cl := c.client("survivor")
+	for i := 0; i < 40; i++ {
+		c.site.Advance(1) // heavy churn forces drift and eventual rebases
+		doc, err := cl.Get("/laptops/1")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		want, _ := c.site.Render("laptops", 1, "survivor", c.site.Tick())
+		if !bytes.Equal(doc, want) {
+			t.Fatalf("request %d: mismatch after churn", i)
+		}
+	}
+}
+
+func TestConcurrentClientsThroughChain(t *testing.T) {
+	c := newChain(t, core.Config{})
+	c.warm(t, "laptops", 6)
+	c.warm(t, "desktops", 6)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := c.client(fmt.Sprintf("conc-%d", w))
+			for i := 0; i < 10; i++ {
+				dept := []string{"laptops", "desktops"}[(w+i)%2]
+				path := fmt.Sprintf("/%s/%d", dept, i%5)
+				doc, err := cl.Get(path)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				want, err := c.site.Render(dept, i%5, fmt.Sprintf("conc-%d", w), c.site.Tick())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(doc, want) {
+					errs <- fmt.Errorf("worker %d: mismatch on %s", w, path)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerStorageStaysBounded(t *testing.T) {
+	// The scalability claim: storage is per-class, not per-document or
+	// per-user, so many users and documents do not blow it up.
+	c := newChain(t, core.Config{})
+	for u := 0; u < 12; u++ {
+		cl := c.client(fmt.Sprintf("pop-%d", u))
+		for item := 0; item < 8; item++ {
+			if _, err := cl.Get(fmt.Sprintf("/laptops/%d", item)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.engine.Stats()
+	if st.Classes > 4 {
+		t.Errorf("classes = %d for 8 similar documents x 12 users, want few", st.Classes)
+	}
+	// Storage must be a small multiple of one document size, not
+	// requests x size.
+	doc, _ := c.site.Render("laptops", 0, "x", 0)
+	if st.StorageBytes > int64(20*len(doc)) {
+		t.Errorf("storage %d bytes > 20 documents (%d); not class-bounded",
+			st.StorageBytes, 20*len(doc))
+	}
+}
+
+func TestNonCapableBrowserCoexists(t *testing.T) {
+	c := newChain(t, core.Config{})
+	c.warm(t, "laptops", 6)
+
+	// A plain HTTP GET through the proxy still returns the document.
+	resp, err := http.Get(c.proxyURL + "/laptops/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := c.site.Render("laptops", 1, "", c.site.Tick())
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("plain browser did not receive the exact document")
+	}
+}

@@ -1,0 +1,157 @@
+// Package loadgen drives a delta-server with a population of concurrent
+// delta-capable clients and reports throughput, latency percentiles, and
+// the transfer ledger — the measurement side of the Section VI-C
+// concurrency discussion.
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cbde/internal/deltaclient"
+	"cbde/internal/metrics"
+)
+
+// Config parametrizes a load run.
+type Config struct {
+	// ServerURL is the delta-server (or proxy-cache) base URL.
+	ServerURL string
+	// Paths are the document paths clients rotate through.
+	Paths []string
+	// Clients is the number of concurrent delta-capable clients.
+	// Default 8.
+	Clients int
+	// RequestsPerClient is how many requests each client issues.
+	// Default 50.
+	RequestsPerClient int
+	// UserPrefix names client identities ("<prefix>-<n>"). Default "load".
+	UserPrefix string
+	// VCDIFF requests RFC 3284 payloads.
+	VCDIFF bool
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.ServerURL == "" {
+		return c, fmt.Errorf("loadgen: ServerURL required")
+	}
+	if len(c.Paths) == 0 {
+		return c, fmt.Errorf("loadgen: at least one path required")
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.RequestsPerClient <= 0 {
+		c.RequestsPerClient = 50
+	}
+	if c.UserPrefix == "" {
+		c.UserPrefix = "load"
+	}
+	return c, nil
+}
+
+// Result summarizes a load run.
+type Result struct {
+	Requests int
+	Errors   int
+	Elapsed  time.Duration
+
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+
+	DocumentBytes  int64 // reconstructed document volume delivered
+	PayloadBytes   int64 // body bytes over the wire (deltas + fulls)
+	BaseBytes      int64 // base-file bytes downloaded
+	DeltaResponses int
+	FullResponses  int
+}
+
+// RPS returns requests per second.
+func (r Result) RPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Savings returns the end-to-end transfer savings versus shipping every
+// document in full (base-file downloads charged).
+func (r Result) Savings() float64 {
+	if r.DocumentBytes == 0 {
+		return 0
+	}
+	return 1 - float64(r.PayloadBytes+r.BaseBytes)/float64(r.DocumentBytes)
+}
+
+// String renders the result for the CLI.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"requests %d (%d errors) in %v = %.0f req/s\n"+
+			"latency  p50 %v  p95 %v  p99 %v\n"+
+			"transfer %d KB payload + %d KB bases for %d KB of documents (%.0f%% saved)\n"+
+			"responses %d deltas, %d fulls",
+		r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond), r.RPS(),
+		r.LatencyP50.Round(time.Microsecond), r.LatencyP95.Round(time.Microsecond), r.LatencyP99.Round(time.Microsecond),
+		r.PayloadBytes/1024, r.BaseBytes/1024, r.DocumentBytes/1024, r.Savings()*100,
+		r.DeltaResponses, r.FullResponses)
+}
+
+// Run executes the load run and blocks until every client finishes.
+func Run(cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+
+	lat := metrics.NewHistogram()
+	var mu sync.Mutex
+	var res Result
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			opts := []deltaclient.Option{
+				deltaclient.WithUser(fmt.Sprintf("%s-%d", cfg.UserPrefix, c)),
+			}
+			if cfg.VCDIFF {
+				opts = append(opts, deltaclient.WithVCDIFF())
+			}
+			cl := deltaclient.New(cfg.ServerURL, opts...)
+
+			var docBytes int64
+			errs := 0
+			for i := 0; i < cfg.RequestsPerClient; i++ {
+				path := cfg.Paths[(c+i)%len(cfg.Paths)]
+				t0 := time.Now()
+				doc, err := cl.Get(path)
+				lat.Observe(float64(time.Since(t0).Nanoseconds()))
+				if err != nil {
+					errs++
+					continue
+				}
+				docBytes += int64(len(doc))
+			}
+			st := cl.Stats()
+			mu.Lock()
+			res.Requests += cfg.RequestsPerClient
+			res.Errors += errs
+			res.DocumentBytes += docBytes
+			res.PayloadBytes += st.PayloadBytes
+			res.BaseBytes += st.BaseBytes
+			res.DeltaResponses += st.DeltaResponses
+			res.FullResponses += st.FullResponses
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	res.Elapsed = time.Since(start)
+	res.LatencyP50 = time.Duration(lat.Quantile(0.50))
+	res.LatencyP95 = time.Duration(lat.Quantile(0.95))
+	res.LatencyP99 = time.Duration(lat.Quantile(0.99))
+	return res, nil
+}

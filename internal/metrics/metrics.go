@@ -1,0 +1,263 @@
+// Package metrics provides small, dependency-free counters, gauges and
+// histograms used by the delta-server and the experiment harness.
+//
+// All types are safe for concurrent use and have useful zero values where
+// possible; Registry must be created with NewRegistry.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Negative deltas are ignored so that a
+// Counter remains monotone.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set sets the gauge to v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed buckets. Create one with
+// NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, sorted ascending
+	counts  []int64   // len(bounds)+1; last bucket is +Inf
+	sum     float64
+	n       int64
+	min     float64
+	max     float64
+	samples []float64 // reservoir for quantile estimates
+}
+
+const histReservoirSize = 4096
+
+// NewHistogram returns a histogram with the given ascending upper bucket
+// bounds. An implicit +Inf bucket is appended.
+func NewHistogram(bounds ...float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(b)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records a single observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < histReservoirSize {
+		h.samples = append(h.samples, v)
+	} else {
+		// Deterministic-enough reservoir: overwrite a pseudo-random slot
+		// derived from the running count so the harness stays reproducible.
+		slot := int(h.n*2654435761) % histReservoirSize
+		if slot < 0 {
+			slot = -slot
+		}
+		h.samples[slot] = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the mean of all observations, or 0 if there are none.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation, or 0 if there are none.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if there are none.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-th quantile (0 <= q <= 1) from the
+// sample reservoir, or 0 if there are no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(h.samples))
+	copy(s, h.samples)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	idx := q * float64(len(s)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := idx - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Buckets returns a copy of the bucket upper bounds and counts. The final
+// count is the +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := make([]float64, len(h.bounds))
+	copy(b, h.bounds)
+	c := make([]int64, len(h.counts))
+	copy(c, h.counts)
+	return b, c
+}
+
+// Registry is a named collection of metrics. Create one with NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// provided bounds on first use. Bounds are ignored for an existing histogram.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a sorted, human-readable dump of every metric, suitable
+// for a stats endpoint or log line.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.3f min=%.3f max=%.3f p50=%.3f p99=%.3f",
+			name, h.Count(), h.Mean(), h.Min(), h.Max(), h.Quantile(0.5), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

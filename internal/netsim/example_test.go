@@ -1,0 +1,20 @@
+package netsim_test
+
+import (
+	"fmt"
+
+	"cbde/internal/netsim"
+)
+
+func ExamplePath_LatencyRatio() {
+	// Section VI-A: shrinking a 30 KB document to a 1 KB delta cuts
+	// latency ~5x on a high-bandwidth path (slow-start bound) and ~10x
+	// over a 56 kb/s modem (transmission bound).
+	high := netsim.HighBandwidth()
+	modem := netsim.Modem56k()
+	fmt.Printf("high-bw %.1f\n", high.LatencyRatio(30*1024, 1024))
+	fmt.Printf("modem   %.0f\n", modem.LatencyRatio(30*1024, 1024))
+	// Output:
+	// high-bw 5.0
+	// modem   12
+}

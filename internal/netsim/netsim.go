@@ -1,0 +1,271 @@
+// Package netsim models the download latency of an HTTP response over TCP,
+// reproducing the bandwidth-to-latency analysis of Section VI-A.
+//
+// The paper's argument: over a high-bandwidth path, TCP slow-start makes the
+// number of round-trips grow roughly logarithmically in the transfer size,
+// so shrinking a 30 KB document to a 1 KB delta cuts latency by about
+// log2(30) ~ 5x. Over a 56 kb/s modem the transmission time dominates
+// (one full-size packet takes about two 100 ms RTTs), latency becomes
+// roughly linear in size, and with connection setup, queueing and loss the
+// ratio lands around 10x.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Path describes one network path between server and client.
+type Path struct {
+	// RTT is the round-trip time.
+	RTT time.Duration
+	// BandwidthBps is the bottleneck bandwidth in bits per second;
+	// 0 means effectively unlimited (the high-bandwidth case).
+	BandwidthBps float64
+	// MSS is the TCP maximum segment size in bytes. Default 1460.
+	MSS int
+	// InitCwnd is the initial congestion window in segments. Default 1
+	// (RFC 2581-era TCP, matching the paper's 2002 setting).
+	InitCwnd int
+	// MaxCwnd caps the congestion window in segments (receive window).
+	// Default 44 (a 64 KB window).
+	MaxCwnd int
+	// SetupRTTs is the connection establishment cost in round trips
+	// (TCP handshake + HTTP request). 0 models a warm persistent
+	// connection.
+	SetupRTTs float64
+	// LossRate is the per-packet probability of a loss whose recovery
+	// costs LossPenalty. Applied in expectation.
+	LossRate float64
+	// LossPenalty is the expected recovery delay per lost packet
+	// (coarse timeouts dominated 2002-era stacks). Default 1s when
+	// LossRate > 0.
+	LossPenalty time.Duration
+	// QueueDelay is a fixed additional one-way queueing delay applied
+	// once per transfer.
+	QueueDelay time.Duration
+}
+
+func (p Path) withDefaults() Path {
+	if p.MSS <= 0 {
+		p.MSS = 1460
+	}
+	if p.InitCwnd <= 0 {
+		p.InitCwnd = 1
+	}
+	if p.MaxCwnd <= 0 {
+		p.MaxCwnd = 44
+	}
+	if p.LossRate > 0 && p.LossPenalty <= 0 {
+		p.LossPenalty = time.Second
+	}
+	return p
+}
+
+// HighBandwidth returns the paper's high-bandwidth path: 50 ms RTT, no
+// bandwidth bottleneck, a warm connection, and no loss. Latency is governed
+// purely by slow-start round trips.
+func HighBandwidth() Path {
+	return Path{RTT: 50 * time.Millisecond}
+}
+
+// Modem56k returns the paper's low-bandwidth path: a 56 kb/s modem with
+// 100 ms RTT, where "the transmission time of a single packet is roughly
+// equal to twice RTT", plus connection setup and loss/queueing costs.
+func Modem56k() Path {
+	return Path{
+		RTT:          100 * time.Millisecond,
+		BandwidthBps: 56000,
+		SetupRTTs:    2,
+		LossRate:     0.01,
+		LossPenalty:  time.Second,
+		QueueDelay:   50 * time.Millisecond,
+	}
+}
+
+// TransferLatency returns the modeled time to deliver size bytes to the
+// client: connection setup, slow-start round trips, serialization on the
+// bottleneck link, queueing, and expected loss recovery.
+func (p Path) TransferLatency(size int) time.Duration {
+	p = p.withDefaults()
+	if size <= 0 {
+		return time.Duration(p.SetupRTTs * float64(p.RTT))
+	}
+
+	segments := (size + p.MSS - 1) / p.MSS
+	total := time.Duration(p.SetupRTTs*float64(p.RTT)) + p.QueueDelay
+
+	// Slow start: each round delivers up to cwnd segments and costs
+	// max(RTT, serialization time of the round's data on the bottleneck).
+	cwnd := p.InitCwnd
+	remaining := size
+	for remaining > 0 {
+		burst := cwnd * p.MSS
+		if burst > remaining {
+			burst = remaining
+		}
+		round := p.RTT
+		if p.BandwidthBps > 0 {
+			ser := time.Duration(float64(burst*8) / p.BandwidthBps * float64(time.Second))
+			if ser > round {
+				round = ser
+			}
+		}
+		total += round
+		remaining -= burst
+		cwnd *= 2
+		if cwnd > p.MaxCwnd {
+			cwnd = p.MaxCwnd
+		}
+	}
+
+	if p.LossRate > 0 {
+		expectedLosses := p.LossRate * float64(segments)
+		total += time.Duration(expectedLosses * float64(p.LossPenalty))
+	}
+	return total
+}
+
+// SlowStartRounds returns the number of slow-start round trips needed to
+// deliver size bytes (ignoring bandwidth limits) — the quantity the paper's
+// log(S1/S2) argument counts.
+func (p Path) SlowStartRounds(size int) int {
+	p = p.withDefaults()
+	if size <= 0 {
+		return 0
+	}
+	segments := (size + p.MSS - 1) / p.MSS
+	rounds := 0
+	cwnd := p.InitCwnd
+	for segments > 0 {
+		segments -= cwnd
+		rounds++
+		cwnd *= 2
+		if cwnd > p.MaxCwnd {
+			cwnd = p.MaxCwnd
+		}
+	}
+	return rounds
+}
+
+// LatencyRatio returns L1/L2: the latency of transferring size1 relative to
+// size2 over the path. The paper's headline numbers are ~5 for 30KB/1KB on
+// a high-bandwidth path and ~10 on a 56k modem.
+func (p Path) LatencyRatio(size1, size2 int) float64 {
+	l2 := p.TransferLatency(size2)
+	if l2 <= 0 {
+		return 0
+	}
+	return float64(p.TransferLatency(size1)) / float64(l2)
+}
+
+// Report describes one path's latency picture for a document/delta pair.
+type Report struct {
+	Label      string
+	DocBytes   int
+	DeltaBytes int
+	DocLatency time.Duration
+	DltLatency time.Duration
+	Ratio      float64
+}
+
+// String renders the report row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-12s doc %6dB %8s   delta %5dB %8s   L1/L2 %.1f",
+		r.Label, r.DocBytes, r.DocLatency.Round(time.Millisecond),
+		r.DeltaBytes, r.DltLatency.Round(time.Millisecond), r.Ratio)
+}
+
+// Compare builds the Section VI-A comparison for a document of docBytes
+// shrunk to deltaBytes over the path.
+func Compare(label string, p Path, docBytes, deltaBytes int) Report {
+	return Report{
+		Label:      label,
+		DocBytes:   docBytes,
+		DeltaBytes: deltaBytes,
+		DocLatency: p.TransferLatency(docBytes),
+		DltLatency: p.TransferLatency(deltaBytes),
+		Ratio:      p.LatencyRatio(docBytes, deltaBytes),
+	}
+}
+
+// PageLoad describes a full page: the dynamic container document plus its
+// embedded objects (images, scripts), which are static and typically served
+// from caches. Delta-encoding shrinks only the container, so whole-page
+// speedup is an Amdahl fraction of the per-document speedup.
+type PageLoad struct {
+	// PageBytes is the size of the container document transfer.
+	PageBytes int
+	// Objects are the embedded object transfer sizes. Objects cached at
+	// the client contribute zero and should be omitted.
+	Objects []int
+	// ParallelConns is how many persistent connections fetch objects
+	// concurrently. Default 2 (HTTP/1.1-era browsers).
+	ParallelConns int
+	// RequestRTTs is the per-object request overhead on a persistent
+	// connection, in round trips. Default 1.
+	RequestRTTs float64
+}
+
+// PageLoadLatency models the time to display the full page: the container
+// document downloads first (its bytes are what delta-encoding shrinks),
+// then the embedded objects are fetched over ParallelConns persistent
+// connections, greedily assigned.
+func (p Path) PageLoadLatency(pl PageLoad) time.Duration {
+	pp := p.withDefaults()
+	conns := pl.ParallelConns
+	if conns <= 0 {
+		conns = 2
+	}
+	reqRTTs := pl.RequestRTTs
+	if reqRTTs <= 0 {
+		reqRTTs = 1
+	}
+
+	total := p.TransferLatency(pl.PageBytes)
+
+	// Greedy longest-processing-time assignment of objects to connections.
+	objects := make([]int, len(pl.Objects))
+	copy(objects, pl.Objects)
+	sort.Sort(sort.Reverse(sort.IntSlice(objects)))
+
+	// Persistent connections: connection setup once per connection, then
+	// request + transfer per object with no further setup.
+	perConn := make([]time.Duration, conns)
+	setupOnce := time.Duration(pp.SetupRTTs * float64(pp.RTT))
+	noSetup := p
+	noSetup.SetupRTTs = 0
+	for _, size := range objects {
+		// Assign to the least-loaded connection.
+		best := 0
+		for i := 1; i < conns; i++ {
+			if perConn[i] < perConn[best] {
+				best = i
+			}
+		}
+		if perConn[best] == 0 {
+			perConn[best] = setupOnce
+		}
+		perConn[best] += time.Duration(reqRTTs*float64(pp.RTT)) + noSetup.TransferLatency(size)
+	}
+	longest := time.Duration(0)
+	for _, d := range perConn {
+		if d > longest {
+			longest = d
+		}
+	}
+	return total + longest
+}
+
+// PageSpeedup returns the whole-page latency ratio between serving the
+// container in full (directBytes) and serving it delta-encoded
+// (deltaBytes), with the same embedded objects either way.
+func (p Path) PageSpeedup(directBytes, deltaBytes int, objects []int) float64 {
+	direct := p.PageLoadLatency(PageLoad{PageBytes: directBytes, Objects: objects})
+	delta := p.PageLoadLatency(PageLoad{PageBytes: deltaBytes, Objects: objects})
+	if delta <= 0 {
+		return 0
+	}
+	return float64(direct) / float64(delta)
+}

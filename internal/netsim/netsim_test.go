@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHighBandwidthRatioNearFive(t *testing.T) {
+	// Paper (VI-A): for S1/S2 = 30 (30KB doc vs 1KB delta) on a
+	// high-bandwidth path, L1/L2 is roughly log2(30) ~ 5.
+	p := HighBandwidth()
+	ratio := p.LatencyRatio(30*1024, 1*1024)
+	if ratio < 4 || ratio > 6 {
+		t.Errorf("high-bandwidth L1/L2 = %.2f, paper says ~5", ratio)
+	}
+}
+
+func TestModemRatioNearTen(t *testing.T) {
+	// Paper (VI-A): on a 56kb/s modem with 100ms RTT, L1/L2 is around 10.
+	p := Modem56k()
+	ratio := p.LatencyRatio(30*1024, 1*1024)
+	if ratio < 8 || ratio > 14 {
+		t.Errorf("modem L1/L2 = %.2f, paper says ~10", ratio)
+	}
+}
+
+func TestModemPacketTakesTwoRTTs(t *testing.T) {
+	// The paper's calibration: one full-size packet on the modem
+	// serializes in about twice the RTT.
+	p := Modem56k().withDefaults()
+	ser := time.Duration(float64(p.MSS*8) / p.BandwidthBps * float64(time.Second))
+	if ser < 15*p.RTT/10 || ser > 25*p.RTT/10 {
+		t.Errorf("packet serialization %v, want ~2x RTT (%v)", ser, p.RTT)
+	}
+}
+
+func TestSlowStartRounds(t *testing.T) {
+	p := Path{RTT: 50 * time.Millisecond, MSS: 1000, InitCwnd: 1}
+	tests := []struct {
+		size, want int
+	}{
+		{0, 0},
+		{1, 1},         // 1 segment: 1 round
+		{1000, 1},      // exactly one segment
+		{2000, 2},      // 2 segments: 1 + 1
+		{7000, 3},      // 7 segments: 1+2+4
+		{15000, 4},     // 15 segments: 1+2+4+8
+		{16000, 5},     // 16 segments: need a 5th round
+		{30 * 1024, 5}, // ~31 segments: 1+2+4+8+16
+	}
+	for _, tt := range tests {
+		if got := p.SlowStartRounds(tt.size); got != tt.want {
+			t.Errorf("SlowStartRounds(%d) = %d, want %d", tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestSlowStartRoundsCappedWindow(t *testing.T) {
+	p := Path{RTT: time.Millisecond, MSS: 1000, InitCwnd: 1, MaxCwnd: 4}
+	// 100 segments with cwnd capped at 4: 1+2+4+4+... => 3 + ceil(93/4) rounds.
+	if got, want := p.SlowStartRounds(100_000), 3+24; got != want {
+		t.Errorf("capped SlowStartRounds = %d, want %d", got, want)
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	for _, p := range []Path{HighBandwidth(), Modem56k()} {
+		prev := time.Duration(-1)
+		for size := 0; size <= 64*1024; size += 4096 {
+			l := p.TransferLatency(size)
+			if l < prev {
+				t.Fatalf("latency not monotone at %d bytes: %v < %v", size, l, prev)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestZeroSizeCostsOnlySetup(t *testing.T) {
+	p := Path{RTT: 100 * time.Millisecond, SetupRTTs: 2}
+	if got := p.TransferLatency(0); got != 200*time.Millisecond {
+		t.Errorf("TransferLatency(0) = %v, want 200ms", got)
+	}
+	p2 := HighBandwidth()
+	if got := p2.TransferLatency(0); got != 0 {
+		t.Errorf("warm connection, 0 bytes: %v, want 0", got)
+	}
+}
+
+func TestBandwidthBoundTransfer(t *testing.T) {
+	// On the modem, a 30KB transfer is dominated by serialization:
+	// total must be at least size*8/bandwidth.
+	p := Modem56k()
+	size := 30 * 1024
+	min := time.Duration(float64(size*8) / 56000 * float64(time.Second))
+	if got := p.TransferLatency(size); got < min {
+		t.Errorf("TransferLatency = %v, below serialization floor %v", got, min)
+	}
+}
+
+func TestLossAddsExpectedPenalty(t *testing.T) {
+	base := Path{RTT: 50 * time.Millisecond, MSS: 1000, InitCwnd: 1}
+	lossy := base
+	lossy.LossRate = 0.5
+	lossy.LossPenalty = time.Second
+	size := 10_000 // 10 segments => expected 5 losses => +5s
+	diff := lossy.TransferLatency(size) - base.TransferLatency(size)
+	if diff != 5*time.Second {
+		t.Errorf("loss penalty = %v, want 5s", diff)
+	}
+}
+
+func TestLatencyRatioDegenerate(t *testing.T) {
+	p := Path{RTT: 0}
+	if got := p.LatencyRatio(100, 100); got != 0 {
+		t.Errorf("zero-latency path ratio = %v, want 0 guard", got)
+	}
+}
+
+func TestCompareReport(t *testing.T) {
+	r := Compare("modem", Modem56k(), 30*1024, 1024)
+	if r.Ratio < 8 || r.Ratio > 14 {
+		t.Errorf("report ratio = %.1f", r.Ratio)
+	}
+	s := r.String()
+	for _, want := range []string{"modem", "L1/L2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report string missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestPathDefaults(t *testing.T) {
+	p := Path{}.withDefaults()
+	if p.MSS != 1460 || p.InitCwnd != 1 || p.MaxCwnd != 44 {
+		t.Errorf("unexpected defaults: %+v", p)
+	}
+	lossy := Path{LossRate: 0.1}.withDefaults()
+	if lossy.LossPenalty != time.Second {
+		t.Errorf("LossPenalty default missing: %+v", lossy)
+	}
+}
+
+func TestPageLoadLatency(t *testing.T) {
+	p := Modem56k()
+	// Page alone.
+	pageOnly := p.PageLoadLatency(PageLoad{PageBytes: 30 * 1024})
+	if pageOnly != p.TransferLatency(30*1024) {
+		t.Errorf("page-only load %v != transfer latency %v", pageOnly, p.TransferLatency(30*1024))
+	}
+	// Adding objects strictly increases latency.
+	withObjects := p.PageLoadLatency(PageLoad{
+		PageBytes: 30 * 1024,
+		Objects:   []int{8 * 1024, 4 * 1024, 2 * 1024},
+	})
+	if withObjects <= pageOnly {
+		t.Errorf("objects did not add latency: %v <= %v", withObjects, pageOnly)
+	}
+	// More parallel connections cannot be slower.
+	serial := p.PageLoadLatency(PageLoad{PageBytes: 1024, Objects: []int{8192, 8192, 8192, 8192}, ParallelConns: 1})
+	par4 := p.PageLoadLatency(PageLoad{PageBytes: 1024, Objects: []int{8192, 8192, 8192, 8192}, ParallelConns: 4})
+	if par4 > serial {
+		t.Errorf("4 connections slower than 1: %v > %v", par4, serial)
+	}
+}
+
+func TestPageSpeedupAmdahl(t *testing.T) {
+	// With cached objects omitted, page speedup equals the document
+	// speedup; with objects present it must be strictly smaller (Amdahl).
+	p := Modem56k()
+	docOnly := p.PageSpeedup(30*1024, 1024, nil)
+	withObjects := p.PageSpeedup(30*1024, 1024, []int{8 * 1024, 8 * 1024})
+	if docOnly < 8 {
+		t.Errorf("document-only page speedup %.1f, want ~10", docOnly)
+	}
+	if withObjects >= docOnly {
+		t.Errorf("embedded objects should dilute the speedup: %.1f >= %.1f", withObjects, docOnly)
+	}
+	if withObjects <= 1 {
+		t.Errorf("speedup with objects = %.1f, want > 1", withObjects)
+	}
+}

@@ -1,0 +1,382 @@
+// Package origin implements a synthetic dynamic web-site: the workload
+// substrate standing in for the commercial sites whose access-logs the paper
+// evaluates against (Table II; the real traces are private).
+//
+// A Site renders dynamic documents with the structure the paper's analysis
+// assumes:
+//
+//   - a large department template shared by all items of a department
+//     (spatial correlation, what classes exploit);
+//   - item-specific content (the "rest" of the URL distinguishes it);
+//   - a churning region that changes from tick to tick (temporal
+//     correlation, what deltas exploit);
+//   - optionally a personalized block with private user data (what
+//     anonymization must strip).
+//
+// Rendering is deterministic in (seed, dept, item, tick, user), so
+// experiments are reproducible. Document sizes default to the 30-50 KB
+// range the paper reports for documents that benefit from delta-encoding.
+package origin
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// URLStyle selects how the site organizes its URLs — the three layouts of
+// the paper's Table I.
+type URLStyle int
+
+const (
+	// StylePathHint organizes URLs as /<dept>?id=<item>.
+	StylePathHint URLStyle = iota + 1
+	// StyleQueryHint organizes URLs as /?dept=<dept>&id=<item>.
+	StyleQueryHint
+	// StylePathSegments organizes URLs as /<dept>/<item>.
+	StylePathSegments
+)
+
+// String implements fmt.Stringer.
+func (s URLStyle) String() string {
+	switch s {
+	case StylePathHint:
+		return "path-hint"
+	case StyleQueryHint:
+		return "query-hint"
+	case StylePathSegments:
+		return "path-segments"
+	default:
+		return fmt.Sprintf("URLStyle(%d)", int(s))
+	}
+}
+
+// Dept describes one department (content family) of the site.
+type Dept struct {
+	Name  string
+	Items int
+}
+
+// Config describes a synthetic site.
+type Config struct {
+	// Host is the server-part, e.g. "www.site1.com".
+	Host string
+	// Style is the URL organization (Table I). Default StylePathSegments.
+	Style URLStyle
+	// Depts are the content families. Default: a single "catalog"
+	// department with 100 items.
+	Depts []Dept
+	// TemplateBytes is the approximate size of the shared per-department
+	// template. Default 36000 (documents land in the paper's 30-50 KB
+	// band).
+	TemplateBytes int
+	// ItemBytes is the approximate size of item-specific content.
+	// Default 4000.
+	ItemBytes int
+	// ChurnBytes is the approximate size of the region that changes every
+	// tick. Default 1500 (gzipped deltas land in the paper's 1-3 KB band).
+	ChurnBytes int
+	// Personalized adds a per-user block with private data (user name,
+	// card number, session id) to every document.
+	Personalized bool
+	// WorkFactor simulates per-request application-server work (CPU-bound)
+	// in the HTTP handler. The paper's testbed generated dynamic pages
+	// through a 2002-era Apache/CGI stack at ~5-6 ms per request; a Go
+	// template renderer is ~75 us, so capacity comparisons set this to
+	// recreate a realistic origin cost. Zero disables it.
+	WorkFactor time.Duration
+	// Seed makes rendering deterministic. Sites with different seeds have
+	// unrelated content.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Host == "" {
+		c.Host = "www.example.com"
+	}
+	if c.Style == 0 {
+		c.Style = StylePathSegments
+	}
+	if len(c.Depts) == 0 {
+		c.Depts = []Dept{{Name: "catalog", Items: 100}}
+	}
+	if c.TemplateBytes <= 0 {
+		c.TemplateBytes = 36000
+	}
+	if c.ItemBytes <= 0 {
+		c.ItemBytes = 4000
+	}
+	if c.ChurnBytes <= 0 {
+		c.ChurnBytes = 1500
+	}
+	return c
+}
+
+// Site renders dynamic documents and serves them over HTTP. It is safe for
+// concurrent use.
+type Site struct {
+	cfg       Config
+	depts     map[string]Dept
+	templates map[string]string // pre-rendered per-department templates
+	tick      atomic.Int64
+}
+
+// NewSite returns a Site for cfg.
+func NewSite(cfg Config) *Site {
+	cfg = cfg.withDefaults()
+	s := &Site{
+		cfg:       cfg,
+		depts:     make(map[string]Dept, len(cfg.Depts)),
+		templates: make(map[string]string, len(cfg.Depts)),
+	}
+	for _, d := range cfg.Depts {
+		s.depts[d.Name] = d
+		s.templates[d.Name] = s.renderTemplate(d.Name)
+	}
+	return s
+}
+
+// Host returns the site's server-part.
+func (s *Site) Host() string { return s.cfg.Host }
+
+// Depts returns the site's departments.
+func (s *Site) Depts() []Dept {
+	out := make([]Dept, len(s.cfg.Depts))
+	copy(out, s.cfg.Depts)
+	return out
+}
+
+// Tick returns the site's current content generation.
+func (s *Site) Tick() int { return int(s.tick.Load()) }
+
+// Advance moves the site's content forward by n ticks (content churn).
+func (s *Site) Advance(n int) { s.tick.Add(int64(n)) }
+
+// URL returns the document URL for (dept, item) in the site's URL style,
+// including the host but no scheme — the form the paper's Table I uses.
+func (s *Site) URL(dept string, item int) string {
+	switch s.cfg.Style {
+	case StylePathHint:
+		return fmt.Sprintf("%s/%s?id=%d", s.cfg.Host, dept, item)
+	case StyleQueryHint:
+		return fmt.Sprintf("%s/?dept=%s&id=%d", s.cfg.Host, dept, item)
+	default:
+		return fmt.Sprintf("%s/%s/%d", s.cfg.Host, dept, item)
+	}
+}
+
+// wordlist is the vocabulary documents are woven from.
+var wordlist = []string{
+	"catalog", "special", "offer", "review", "rating", "price", "stock",
+	"shipping", "warranty", "feature", "detail", "model", "series",
+	"customer", "support", "compare", "bundle", "premium", "standard",
+	"digital", "wireless", "portable", "professional", "performance",
+}
+
+// prose appends about n bytes of deterministic pseudo-prose to b. Tokens
+// mix dictionary words with numeric attributes (prices, ids, quantities),
+// giving the text realistic entropy: short word sequences do not recur
+// across unrelated documents the way a small closed vocabulary would.
+func prose(b *strings.Builder, rng *rand.Rand, n int) {
+	start := b.Len()
+	for b.Len()-start < n {
+		b.WriteString(wordlist[rng.IntN(len(wordlist))])
+		switch rng.IntN(3) {
+		case 0:
+			fmt.Fprintf(b, "-%05d", rng.IntN(100000))
+		case 1:
+			fmt.Fprintf(b, "=%x", rng.Uint32())
+		}
+		if rng.IntN(8) == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+}
+
+func (s *Site) rngFor(parts ...string) *rand.Rand {
+	h := uint64(1469598103934665603)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 1099511628211
+		}
+	}
+	return rand.New(rand.NewPCG(s.cfg.Seed, h))
+}
+
+// renderTemplate builds the shared per-department template.
+func (s *Site) renderTemplate(dept string) string {
+	rng := s.rngFor("template", dept)
+	var b strings.Builder
+	b.Grow(s.cfg.TemplateBytes + 1024)
+	fmt.Fprintf(&b, "<html><head><title>%s — %s</title></head><body>\n", s.cfg.Host, dept)
+	blocks := 1 + s.cfg.TemplateBytes/600
+	perBlock := s.cfg.TemplateBytes / blocks
+	for i := 0; i < blocks; i++ {
+		fmt.Fprintf(&b, "<section id=\"%s-%d\">", dept, i)
+		prose(&b, rng, perBlock)
+		b.WriteString("</section>\n")
+	}
+	return b.String()
+}
+
+// Render produces the current snapshot of the document for (dept, item) as
+// seen by user at the given tick. user may be empty for non-personalized
+// access; it is ignored unless the site is personalized.
+func (s *Site) Render(dept string, item int, user string, tick int) ([]byte, error) {
+	d, ok := s.depts[dept]
+	if !ok {
+		return nil, fmt.Errorf("origin: unknown department %q", dept)
+	}
+	if item < 0 || item >= d.Items {
+		return nil, fmt.Errorf("origin: item %d out of range for %q (%d items)", item, dept, d.Items)
+	}
+
+	var b strings.Builder
+	b.Grow(s.cfg.TemplateBytes + s.cfg.ItemBytes + s.cfg.ChurnBytes + 1024)
+	b.WriteString(s.templates[dept])
+
+	// Item-specific content: stable across ticks.
+	itemRng := s.rngFor("item", dept, strconv.Itoa(item))
+	fmt.Fprintf(&b, "<article id=\"item-%d\"><h1>%s item %d</h1>\n", item, dept, item)
+	prose(&b, itemRng, s.cfg.ItemBytes)
+	b.WriteString("</article>\n")
+
+	// Churning content: changes every tick.
+	churnRng := s.rngFor("churn", dept, strconv.Itoa(item), strconv.Itoa(tick))
+	fmt.Fprintf(&b, "<aside id=\"live\"><p>updated tick %d</p>\n", tick)
+	prose(&b, churnRng, s.cfg.ChurnBytes)
+	fmt.Fprintf(&b, "<ad slot=\"%d\"/></aside>\n", churnRng.IntN(1000))
+
+	if s.cfg.Personalized && user != "" {
+		userRng := s.rngFor("user", user)
+		fmt.Fprintf(&b, "<account><p>signed in as %s</p><p>card on file 4%015d</p><p>session %08x-%d</p></account>\n",
+			user, userRng.Uint64()%1_000_000_000_000_000, userRng.Uint32(), tick)
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String()), nil
+}
+
+// RenderURL renders the document for a URL in the site's own style; url may
+// include or omit the scheme and host.
+func (s *Site) RenderURL(url, user string, tick int) ([]byte, error) {
+	dept, item, err := s.ParseURL(url)
+	if err != nil {
+		return nil, err
+	}
+	return s.Render(dept, item, user, tick)
+}
+
+// ParseURL extracts (dept, item) from a URL in the site's style.
+func (s *Site) ParseURL(url string) (dept string, item int, err error) {
+	pq := url
+	if i := strings.Index(pq, "://"); i >= 0 {
+		pq = pq[i+3:]
+	}
+	if i := strings.IndexByte(pq, '/'); i >= 0 {
+		pq = pq[i+1:]
+	} else {
+		pq = ""
+	}
+	path, query, _ := strings.Cut(pq, "?")
+	path = strings.Trim(path, "/")
+
+	fail := func() (string, int, error) {
+		return "", 0, fmt.Errorf("origin: URL %q does not match style %v", url, s.cfg.Style)
+	}
+	queryVal := func(key string) (string, bool) {
+		for _, pair := range strings.Split(query, "&") {
+			if k, v, ok := strings.Cut(pair, "="); ok && k == key {
+				return v, true
+			}
+		}
+		return "", false
+	}
+
+	switch s.cfg.Style {
+	case StylePathHint:
+		id, ok := queryVal("id")
+		if path == "" || !ok {
+			return fail()
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return fail()
+		}
+		return path, n, nil
+	case StyleQueryHint:
+		d, ok1 := queryVal("dept")
+		id, ok2 := queryVal("id")
+		if !ok1 || !ok2 {
+			return fail()
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return fail()
+		}
+		return d, n, nil
+	default:
+		d, rest, ok := strings.Cut(path, "/")
+		if !ok {
+			return fail()
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return fail()
+		}
+		return d, n, nil
+	}
+}
+
+// UserHeader is the request header carrying the user identity — the stand-in
+// for the cookie-based user identification the paper describes.
+const UserHeader = "X-CBDE-User"
+
+// spin burns CPU for roughly d, simulating application-server work.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d)
+	x := uint64(88172645463325252)
+	for time.Now().Before(deadline) {
+		// xorshift keeps the loop from being optimized away.
+		for i := 0; i < 1024; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+	}
+	runtime.KeepAlive(x)
+}
+
+// Handler returns an http.Handler serving the site's documents. The user
+// identity is read from the UserHeader header (or the "uid" cookie); the
+// content generation is the site's current tick.
+func (s *Site) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		spin(s.cfg.WorkFactor)
+		user := r.Header.Get(UserHeader)
+		if user == "" {
+			if c, err := r.Cookie("uid"); err == nil {
+				user = c.Value
+			}
+		}
+		url := s.cfg.Host + r.URL.RequestURI()
+		doc, err := s.RenderURL(url, user, s.Tick())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache") // dynamic content
+		_, _ = w.Write(doc)
+	})
+}

@@ -1,0 +1,355 @@
+package origin
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cbde/internal/urlparts"
+	"cbde/internal/vdelta"
+)
+
+func testSite(style URLStyle, personalized bool) *Site {
+	return NewSite(Config{
+		Host:  "www.site1.com",
+		Style: style,
+		Depts: []Dept{
+			{Name: "laptops", Items: 50},
+			{Name: "desktops", Items: 50},
+		},
+		TemplateBytes: 8000,
+		ItemBytes:     1000,
+		ChurnBytes:    400,
+		Personalized:  personalized,
+		Seed:          1,
+	})
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	s := testSite(StylePathSegments, true)
+	a, err := s.Render("laptops", 3, "alice", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Render("laptops", 3, "alice", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("rendering is not deterministic")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	s := testSite(StylePathSegments, false)
+	if _, err := s.Render("nope", 0, "", 0); err == nil {
+		t.Error("unknown department accepted")
+	}
+	if _, err := s.Render("laptops", 50, "", 0); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := s.Render("laptops", -1, "", 0); err == nil {
+		t.Error("negative item accepted")
+	}
+}
+
+func TestDocumentSizeInConfiguredBand(t *testing.T) {
+	s := NewSite(Config{Host: "www.x.com", Depts: []Dept{{Name: "d", Items: 5}}, Seed: 2})
+	doc, err := s.Render("d", 0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults target the paper's 30-50 KB band.
+	if len(doc) < 30000 || len(doc) > 55000 {
+		t.Errorf("document size %d outside the 30-50KB band", len(doc))
+	}
+}
+
+func TestTemporalCorrelation(t *testing.T) {
+	// Consecutive ticks of the same document must produce small deltas
+	// (only the churn region differs) — the property delta-encoding needs.
+	s := testSite(StylePathSegments, false)
+	d0, _ := s.Render("laptops", 1, "", 0)
+	d1, _ := s.Render("laptops", 1, "", 1)
+	if bytes.Equal(d0, d1) {
+		t.Fatal("documents identical across ticks; churn missing")
+	}
+	delta, err := vdelta.Encode(d0, d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) > len(d1)/4 {
+		t.Errorf("temporal delta %d bytes for %d-byte doc, want strong correlation", len(delta), len(d1))
+	}
+}
+
+func TestSpatialCorrelation(t *testing.T) {
+	// Items within a department share the template; items across
+	// departments do not.
+	s := testSite(StylePathSegments, false)
+	a, _ := s.Render("laptops", 1, "", 0)
+	b, _ := s.Render("laptops", 2, "", 0)
+	c, _ := s.Render("desktops", 1, "", 0)
+
+	within, err := vdelta.Encode(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	across, err := vdelta.Encode(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(within) >= len(b)/3 {
+		t.Errorf("within-dept delta %d for %d-byte doc, want small", len(within), len(b))
+	}
+	if len(across) <= len(within)*2 {
+		t.Errorf("across-dept delta %d not clearly larger than within-dept %d", len(across), len(within))
+	}
+}
+
+func TestPersonalizedContentPerUser(t *testing.T) {
+	s := testSite(StylePathSegments, true)
+	a, _ := s.Render("laptops", 1, "alice", 0)
+	b, _ := s.Render("laptops", 1, "bob", 0)
+	if bytes.Equal(a, b) {
+		t.Fatal("personalized docs identical across users")
+	}
+	if !bytes.Contains(a, []byte("alice")) || !bytes.Contains(b, []byte("bob")) {
+		t.Error("user names missing from personalized docs")
+	}
+	// Cards differ per user.
+	cardOf := func(doc []byte) string {
+		i := bytes.Index(doc, []byte("card on file "))
+		if i < 0 {
+			t.Fatal("no card in personalized doc")
+		}
+		return string(doc[i : i+30])
+	}
+	if cardOf(a) == cardOf(b) {
+		t.Error("different users share a card number")
+	}
+}
+
+func TestNonPersonalizedIgnoresUser(t *testing.T) {
+	s := testSite(StylePathSegments, false)
+	a, _ := s.Render("laptops", 1, "alice", 0)
+	b, _ := s.Render("laptops", 1, "bob", 0)
+	if !bytes.Equal(a, b) {
+		t.Error("non-personalized site varies by user")
+	}
+}
+
+func TestURLStyles(t *testing.T) {
+	tests := []struct {
+		style URLStyle
+		want  string
+	}{
+		{StylePathHint, "www.site1.com/laptops?id=7"},
+		{StyleQueryHint, "www.site1.com/?dept=laptops&id=7"},
+		{StylePathSegments, "www.site1.com/laptops/7"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.style.String(), func(t *testing.T) {
+			s := testSite(tt.style, false)
+			if got := s.URL("laptops", 7); got != tt.want {
+				t.Errorf("URL() = %q, want %q", got, tt.want)
+			}
+			// Round trip through ParseURL.
+			dept, item, err := s.ParseURL(tt.want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dept != "laptops" || item != 7 {
+				t.Errorf("ParseURL = %q,%d", dept, item)
+			}
+			// With scheme prefix too.
+			dept, item, err = s.ParseURL("http://" + tt.want)
+			if err != nil || dept != "laptops" || item != 7 {
+				t.Errorf("ParseURL with scheme failed: %q,%d,%v", dept, item, err)
+			}
+		})
+	}
+}
+
+func TestURLStylesMatchTableIPartitioning(t *testing.T) {
+	// The generated URLs must partition under the default heuristic so the
+	// hint-part equals the department — Table I end-to-end.
+	for _, style := range []URLStyle{StylePathHint, StyleQueryHint, StylePathSegments} {
+		s := testSite(style, false)
+		p, err := urlparts.Partition(s.URL("laptops", 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHint := "laptops"
+		if style == StyleQueryHint {
+			wantHint = "dept=laptops"
+		}
+		if p.Hint != wantHint {
+			t.Errorf("style %v: hint = %q, want %q", style, p.Hint, wantHint)
+		}
+	}
+}
+
+func TestParseURLErrors(t *testing.T) {
+	s := testSite(StylePathSegments, false)
+	for _, u := range []string{"www.site1.com/laptops", "www.site1.com/laptops/x", "www.site1.com"} {
+		if _, _, err := s.ParseURL(u); err == nil {
+			t.Errorf("ParseURL(%q): expected error", u)
+		}
+	}
+	q := testSite(StyleQueryHint, false)
+	for _, u := range []string{"www.site1.com/?dept=laptops", "www.site1.com/?id=3", "www.site1.com/?dept=laptops&id=x"} {
+		if _, _, err := q.ParseURL(u); err == nil {
+			t.Errorf("ParseURL(%q): expected error", u)
+		}
+	}
+	ph := testSite(StylePathHint, false)
+	for _, u := range []string{"www.site1.com/?id=3", "www.site1.com/laptops"} {
+		if _, _, err := ph.ParseURL(u); err == nil {
+			t.Errorf("ParseURL(%q): expected error", u)
+		}
+	}
+}
+
+func TestAdvanceTick(t *testing.T) {
+	s := testSite(StylePathSegments, false)
+	if s.Tick() != 0 {
+		t.Fatalf("initial tick = %d", s.Tick())
+	}
+	s.Advance(3)
+	if s.Tick() != 3 {
+		t.Errorf("tick = %d, want 3", s.Tick())
+	}
+}
+
+func TestHandlerServesDocuments(t *testing.T) {
+	s := testSite(StylePathSegments, true)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/laptops/3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(UserHeader, "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := s.Render("laptops", 3, "alice", 0)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Error("handler response does not match Render output")
+	}
+}
+
+func TestHandlerCookieUser(t *testing.T) {
+	s := testSite(StylePathSegments, true)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/laptops/3", nil)
+	req.AddCookie(&http.Cookie{Name: "uid", Value: "carol"})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "carol") {
+		t.Error("cookie-derived user not reflected in document")
+	}
+}
+
+func TestHandler404(t *testing.T) {
+	s := testSite(StylePathSegments, false)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/unknown/99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDifferentSeedsDifferentContent(t *testing.T) {
+	a := NewSite(Config{Host: "a.com", Depts: []Dept{{Name: "d", Items: 1}}, Seed: 1, TemplateBytes: 2000})
+	b := NewSite(Config{Host: "b.com", Depts: []Dept{{Name: "d", Items: 1}}, Seed: 2, TemplateBytes: 2000})
+	da, _ := a.Render("d", 0, "", 0)
+	db, _ := b.Render("d", 0, "", 0)
+	if bytes.Equal(da, db) {
+		t.Error("different seeds produced identical content")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if StylePathHint.String() != "path-hint" || URLStyle(9).String() != "URLStyle(9)" {
+		t.Error("URLStyle.String misbehaves")
+	}
+}
+
+func TestDeptsCopied(t *testing.T) {
+	s := testSite(StylePathSegments, false)
+	d := s.Depts()
+	if len(d) != 2 {
+		t.Fatalf("Depts() = %d entries", len(d))
+	}
+	d[0].Name = "mutated"
+	if s.Depts()[0].Name == "mutated" {
+		t.Error("Depts() exposes internal state")
+	}
+}
+
+func ExampleSite_URL() {
+	s := NewSite(Config{
+		Host:  "www.foo.com",
+		Style: StyleQueryHint,
+		Depts: []Dept{{Name: "laptops", Items: 101}},
+	})
+	fmt.Println(s.URL("laptops", 100))
+	// Output: www.foo.com/?dept=laptops&id=100
+}
+
+func TestWorkFactorSlowsHandler(t *testing.T) {
+	slow := NewSite(Config{
+		Host:          "www.x.com",
+		Depts:         []Dept{{Name: "d", Items: 2}},
+		TemplateBytes: 1000,
+		WorkFactor:    30 * time.Millisecond,
+		Seed:          1,
+	})
+	srv := httptest.NewServer(slow.Handler())
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/d/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("request took %v, want >= work factor", elapsed)
+	}
+	// Render itself is unaffected (the work factor models HTTP serving).
+	start = time.Now()
+	if _, err := slow.Render("d", 0, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("Render took %v; the work factor must not apply to it", elapsed)
+	}
+}

@@ -1,0 +1,245 @@
+// Package proxycache implements a small caching HTTP proxy with LRU
+// eviction — the traditional proxy-cache of Figure 2 that sits between
+// clients and the delta-server.
+//
+// Dynamic documents are uncachable and pass straight through; class
+// base-files are served by the delta-server with Cache-Control public
+// max-age and are therefore absorbed by the proxy, so many clients
+// downloading the same base-file cost the server one transfer. This is the
+// effect (Section VI-B, end) by which class-based delta-encoding with
+// anonymization can beat classless delta-encoding on bandwidth: anonymized
+// base-files are shared and cachable.
+package proxycache
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithMaxBytes bounds the total size of cached response bodies.
+// Default 64 MiB.
+func WithMaxBytes(n int64) Option {
+	return func(c *Cache) { c.maxBytes = n }
+}
+
+// WithHTTPClient replaces the HTTP client used to reach the next hop.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Cache) { c.client = hc }
+}
+
+// WithNow replaces the clock, for expiry tests.
+func WithNow(now func() time.Time) Option {
+	return func(c *Cache) { c.now = now }
+}
+
+// entry is one cached response.
+type entry struct {
+	key     string
+	body    []byte
+	header  http.Header
+	expires time.Time
+	elem    *list.Element
+}
+
+// Stats counts cache effectiveness.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Uncachable  int64 // responses passed through without caching
+	Evictions   int64
+	StoredBytes int64
+	Entries     int
+}
+
+// Cache is a caching reverse proxy in front of a next-hop URL. It is safe
+// for concurrent use.
+type Cache struct {
+	next     *url.URL
+	client   *http.Client
+	maxBytes int64
+	now      func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	size    int64
+	stats   Stats
+}
+
+var _ http.Handler = (*Cache)(nil)
+
+// New returns a Cache forwarding misses to nextURL.
+func New(nextURL string, opts ...Option) (*Cache, error) {
+	u, err := url.Parse(nextURL)
+	if err != nil {
+		return nil, fmt.Errorf("proxycache: parse next-hop URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("proxycache: next-hop URL %q needs scheme and host", nextURL)
+	}
+	c := &Cache{
+		next:     u,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		maxBytes: 64 << 20,
+		now:      time.Now,
+		entries:  make(map[string]*entry),
+		lru:      list.New(),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.StoredBytes = c.size
+	s.Entries = len(c.entries)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Cache) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		c.forward(w, r, false)
+		return
+	}
+	key := r.URL.RequestURI()
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok && c.now().Before(e.expires) {
+		c.lru.MoveToFront(e.elem)
+		c.stats.Hits++
+		body := e.body
+		hdr := e.header
+		c.mu.Unlock()
+		copyHeader(w.Header(), hdr)
+		w.Header().Set("X-Cache", "HIT")
+		_, _ = w.Write(body)
+		return
+	}
+	if ok {
+		c.removeLocked(e) // expired
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	c.forward(w, r, true)
+}
+
+// forward proxies the request to the next hop, optionally caching the
+// response.
+func (c *Cache) forward(w http.ResponseWriter, r *http.Request, mayCache bool) {
+	u := *c.next
+	u.Path = r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	copyHeader(req.Header, r.Header)
+
+	resp, err := c.client.Do(req)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("next hop failed: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read next hop response: %v", err), http.StatusBadGateway)
+		return
+	}
+
+	ttl, cachable := cacheTTL(resp)
+	if mayCache && cachable && resp.StatusCode == http.StatusOK {
+		c.store(r.URL.RequestURI(), body, resp.Header, ttl)
+	} else {
+		c.mu.Lock()
+		c.stats.Uncachable++
+		c.mu.Unlock()
+	}
+
+	copyHeader(w.Header(), resp.Header)
+	w.Header().Set("X-Cache", "MISS")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// store inserts a response body, evicting LRU entries to fit.
+func (c *Cache) store(key string, body []byte, header http.Header, ttl time.Duration) {
+	if int64(len(body)) > c.maxBytes {
+		return // larger than the whole cache
+	}
+	hdr := make(http.Header, len(header))
+	copyHeader(hdr, header)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[key]; ok {
+		c.removeLocked(old)
+	}
+	for c.size+int64(len(body)) > c.maxBytes && c.lru.Len() > 0 {
+		oldest := c.lru.Back()
+		c.removeLocked(oldest.Value.(*entry))
+		c.stats.Evictions++
+	}
+	e := &entry{key: key, body: body, header: hdr, expires: c.now().Add(ttl)}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	c.size += int64(len(body))
+}
+
+// removeLocked unlinks an entry. Callers hold c.mu.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.size -= int64(len(e.body))
+}
+
+// cacheTTL decides whether a response is cachable and for how long,
+// honoring Cache-Control public/max-age/no-cache/no-store/private.
+func cacheTTL(resp *http.Response) (time.Duration, bool) {
+	cc := strings.ToLower(resp.Header.Get("Cache-Control"))
+	if cc == "" {
+		return 0, false
+	}
+	if strings.Contains(cc, "no-store") || strings.Contains(cc, "no-cache") || strings.Contains(cc, "private") {
+		return 0, false
+	}
+	for _, directive := range strings.Split(cc, ",") {
+		directive = strings.TrimSpace(directive)
+		if v, ok := strings.CutPrefix(directive, "max-age="); ok {
+			secs, err := strconv.Atoi(v)
+			if err != nil || secs <= 0 {
+				return 0, false
+			}
+			return time.Duration(secs) * time.Second, true
+		}
+	}
+	return 0, false
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

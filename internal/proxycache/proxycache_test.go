@@ -1,0 +1,289 @@
+package proxycache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// backend counts requests and serves configurable responses.
+type backend struct {
+	hits   atomic.Int64
+	cc     string
+	body   func(r *http.Request) string
+	status int
+}
+
+func (b *backend) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b.hits.Add(1)
+		if b.cc != "" {
+			w.Header().Set("Cache-Control", b.cc)
+		}
+		status := b.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.WriteHeader(status)
+		body := r.URL.Path
+		if b.body != nil {
+			body = b.body(r)
+		}
+		_, _ = io.WriteString(w, body)
+	})
+}
+
+func newProxy(t *testing.T, b *backend, opts ...Option) (*Cache, *httptest.Server) {
+	t.Helper()
+	origin := httptest.NewServer(b.handler())
+	t.Cleanup(origin.Close)
+	c, err := New(origin.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(c)
+	t.Cleanup(front.Close)
+	return c, front
+}
+
+func get(t *testing.T, url string) (string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header
+}
+
+func TestCacheHit(t *testing.T) {
+	b := &backend{cc: "public, max-age=60"}
+	c, front := newProxy(t, b)
+
+	body1, h1 := get(t, front.URL+"/base/1")
+	body2, h2 := get(t, front.URL+"/base/1")
+	if body1 != "/base/1" || body2 != "/base/1" {
+		t.Fatalf("bodies = %q, %q", body1, body2)
+	}
+	if h1.Get("X-Cache") != "MISS" || h2.Get("X-Cache") != "HIT" {
+		t.Errorf("X-Cache = %q then %q, want MISS then HIT", h1.Get("X-Cache"), h2.Get("X-Cache"))
+	}
+	if got := b.hits.Load(); got != 1 {
+		t.Errorf("backend hits = %d, want 1 (second request served from cache)", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUncachableResponsesPassThrough(t *testing.T) {
+	tests := []string{"", "no-cache", "no-store", "private, max-age=60", "public, max-age=0"}
+	for _, cc := range tests {
+		t.Run("cc="+cc, func(t *testing.T) {
+			b := &backend{cc: cc}
+			c, front := newProxy(t, b)
+			get(t, front.URL+"/doc")
+			get(t, front.URL+"/doc")
+			if got := b.hits.Load(); got != 2 {
+				t.Errorf("backend hits = %d, want 2 (nothing cached)", got)
+			}
+			if st := c.Stats(); st.Hits != 0 {
+				t.Errorf("unexpected cache hit: %+v", st)
+			}
+		})
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	b := &backend{cc: "public, max-age=10"}
+	_, front := newProxy(t, b, WithNow(clock))
+
+	get(t, front.URL+"/x")
+	get(t, front.URL+"/x") // within TTL: hit
+	if got := b.hits.Load(); got != 1 {
+		t.Fatalf("backend hits = %d, want 1", got)
+	}
+	mu.Lock()
+	now = now.Add(11 * time.Second)
+	mu.Unlock()
+	get(t, front.URL+"/x") // expired: refetch
+	if got := b.hits.Load(); got != 2 {
+		t.Errorf("backend hits = %d after expiry, want 2", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	b := &backend{cc: "public, max-age=60", body: func(r *http.Request) string {
+		return strings.Repeat("x", 1000) + r.URL.Path
+	}}
+	c, front := newProxy(t, b, WithMaxBytes(2500)) // fits 2 bodies
+
+	get(t, front.URL+"/a")
+	get(t, front.URL+"/b")
+	get(t, front.URL+"/a") // touch /a so /b is LRU
+	get(t, front.URL+"/c") // evicts /b
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("no evictions: %+v", st)
+	}
+	before := b.hits.Load()
+	get(t, front.URL+"/a") // still cached
+	if b.hits.Load() != before {
+		t.Error("/a was evicted; LRU order wrong")
+	}
+	get(t, front.URL+"/b") // was evicted: refetch
+	if b.hits.Load() != before+1 {
+		t.Error("/b not refetched after eviction")
+	}
+}
+
+func TestOversizeBodyNotCached(t *testing.T) {
+	b := &backend{cc: "public, max-age=60", body: func(*http.Request) string {
+		return strings.Repeat("y", 5000)
+	}}
+	c, front := newProxy(t, b, WithMaxBytes(1000))
+	get(t, front.URL+"/big")
+	get(t, front.URL+"/big")
+	if got := b.hits.Load(); got != 2 {
+		t.Errorf("oversize body appears cached: backend hits = %d", got)
+	}
+	if st := c.Stats(); st.StoredBytes != 0 {
+		t.Errorf("StoredBytes = %d, want 0", st.StoredBytes)
+	}
+}
+
+func TestNonGETNotCached(t *testing.T) {
+	b := &backend{cc: "public, max-age=60"}
+	_, front := newProxy(t, b)
+	resp, err := http.Post(front.URL+"/p", "text/plain", strings.NewReader("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(front.URL+"/p", "text/plain", strings.NewReader("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := b.hits.Load(); got != 2 {
+		t.Errorf("POSTs appear cached: backend hits = %d", got)
+	}
+}
+
+func TestNonOKNotCached(t *testing.T) {
+	b := &backend{cc: "public, max-age=60", status: http.StatusNotFound}
+	_, front := newProxy(t, b)
+	get(t, front.URL+"/missing")
+	get(t, front.URL+"/missing")
+	if got := b.hits.Load(); got != 2 {
+		t.Errorf("404s appear cached: backend hits = %d", got)
+	}
+}
+
+func TestQueryStringsDistinct(t *testing.T) {
+	b := &backend{cc: "public, max-age=60", body: func(r *http.Request) string {
+		return r.URL.RawQuery
+	}}
+	_, front := newProxy(t, b)
+	b1, _ := get(t, front.URL+"/d?id=1")
+	b2, _ := get(t, front.URL+"/d?id=2")
+	if b1 == b2 {
+		t.Error("different query strings served the same cached body")
+	}
+}
+
+func TestNextHopDown(t *testing.T) {
+	c, err := New("http://127.0.0.1:1") // nothing listens there
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(c)
+	defer front.Close()
+	resp, err := http.Get(front.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Errorf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	for _, u := range []string{"", "not-a-url-at-all:/%", "/relative"} {
+		if _, err := New(u); err == nil {
+			t.Errorf("New(%q): expected error", u)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	b := &backend{cc: "public, max-age=60"}
+	c, front := newProxy(t, b)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/k%d", front.URL, i%5))
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 200 {
+		t.Errorf("hits+misses = %d, want 200", st.Hits+st.Misses)
+	}
+	if st.Entries > 5 {
+		t.Errorf("entries = %d, want <= 5", st.Entries)
+	}
+}
+
+func TestCacheTTLParsing(t *testing.T) {
+	tests := []struct {
+		cc       string
+		wantTTL  time.Duration
+		cachable bool
+	}{
+		{"public, max-age=60", time.Minute, true},
+		{"max-age=5", 5 * time.Second, true},
+		{"public", 0, false},
+		{"no-store", 0, false},
+		{"no-cache, max-age=60", 0, false},
+		{"private, max-age=60", 0, false},
+		{"max-age=abc", 0, false},
+		{"max-age=-5", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		resp := &http.Response{Header: http.Header{"Cache-Control": {tt.cc}}}
+		ttl, ok := cacheTTL(resp)
+		if ok != tt.cachable || ttl != tt.wantTTL {
+			t.Errorf("cacheTTL(%q) = %v,%v; want %v,%v", tt.cc, ttl, ok, tt.wantTTL, tt.cachable)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package trace
+
+import "testing"
+
+// FuzzParseCLF hardens the access-log parser against arbitrary lines.
+func FuzzParseCLF(f *testing.F) {
+	f.Add(`www.t.com - user007 [01/Jul/2002:12:00:00 +0000] "GET /a/3 HTTP/1.1" 200 123`)
+	f.Add(`host - user [bad] "GET / HTTP/1.1" 200 -`)
+	f.Add("")
+	f.Add(`[ ] " "`)
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := ParseCLF(line)
+		if err == nil && r.URL == "" {
+			t.Fatal("accepted a line without a URL")
+		}
+	})
+}

@@ -1,0 +1,342 @@
+// Package trace models the request workloads the paper evaluates against.
+//
+// The paper uses access-logs from three commercial web-sites whose URLs it
+// cannot disclose (Table II). This package substitutes synthetic workloads:
+// requests over a Site's documents with Zipf-like document popularity
+// (web request streams are famously Zipf, Breslau et al. [3]), a finite
+// user population, and content churn advancing on a configurable cadence.
+// Three site/workload pairs are calibrated so request counts and mean
+// document sizes match Table II's scale.
+//
+// Workloads can be written to and re-read from Common Log Format, the
+// format real access-logs (and hence the paper's traces) come in.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+
+	"cbde/internal/origin"
+)
+
+// Request is one entry of a workload: a user requesting a document while
+// the site content is at a given tick.
+type Request struct {
+	Seq  int       // position in the trace
+	Time time.Time // request timestamp
+	URL  string    // document URL (host + path, no scheme)
+	User string    // requesting user
+	Dept string    // resolved department
+	Item int       // resolved item
+	Tick int       // content generation at request time
+}
+
+// Config parametrizes workload generation.
+type Config struct {
+	// Requests is the trace length.
+	Requests int
+	// Users is the user population size. Default 50.
+	Users int
+	// ZipfS is the Zipf skew parameter for document popularity
+	// (0 = uniform). Default 0.9.
+	ZipfS float64
+	// TickEvery advances the site content one tick every this many
+	// requests — the temporal churn cadence. Default 20.
+	TickEvery int
+	// Start is the timestamp of the first request. Default 2002-07-01.
+	Start time.Time
+	// Interval is the (mean) spacing between requests. Default 1s.
+	Interval time.Duration
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Users <= 0 {
+		c.Users = 50
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 0.9
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 20
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	return c
+}
+
+// zipf samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &zipf{cdf: cdf}
+}
+
+func (z *zipf) sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Generate produces a workload over site's documents.
+func Generate(site *origin.Site, cfg Config) []Request {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xA24BAED4963EE407))
+
+	// Flatten (dept, item) into a popularity-ranked document list; shuffle
+	// so popular documents spread across departments.
+	type docRef struct {
+		dept string
+		item int
+	}
+	var docs []docRef
+	for _, d := range site.Depts() {
+		for i := 0; i < d.Items; i++ {
+			docs = append(docs, docRef{dept: d.Name, item: i})
+		}
+	}
+	rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+
+	z := newZipf(len(docs), cfg.ZipfS)
+	out := make([]Request, cfg.Requests)
+	tick := 0
+	for i := range out {
+		if i > 0 && i%cfg.TickEvery == 0 {
+			tick++
+		}
+		doc := docs[z.sample(rng)]
+		user := fmt.Sprintf("user%03d", rng.IntN(cfg.Users))
+		out[i] = Request{
+			Seq:  i,
+			Time: cfg.Start.Add(time.Duration(i) * cfg.Interval),
+			URL:  site.URL(doc.dept, doc.item),
+			User: user,
+			Dept: doc.dept,
+			Item: doc.item,
+			Tick: tick,
+		}
+	}
+	return out
+}
+
+// clfTimeLayout is the Common Log Format timestamp layout.
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// FormatCLF renders the request as a Common Log Format line. The user goes
+// in the authuser field; the size field carries the document size when
+// known (callers pass 0 otherwise, logged as "-").
+func FormatCLF(r Request, status, size int) string {
+	sz := "-"
+	if size > 0 {
+		sz = fmt.Sprintf("%d", size)
+	}
+	path := r.URL
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		path = path[i:]
+	} else {
+		path = "/"
+	}
+	return fmt.Sprintf("%s - %s [%s] \"GET %s HTTP/1.1\" %d %s",
+		hostOf(r.URL), r.User, r.Time.Format(clfTimeLayout), path, status, sz)
+}
+
+func hostOf(url string) string {
+	if i := strings.IndexByte(url, '/'); i >= 0 {
+		return url[:i]
+	}
+	return url
+}
+
+// WriteLog writes the workload as a Common Log Format access-log.
+func WriteLog(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		if _, err := fmt.Fprintln(bw, FormatCLF(r, 200, 0)); err != nil {
+			return fmt.Errorf("trace: write log: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flush log: %w", err)
+	}
+	return nil
+}
+
+// ParseCLF parses one Common Log Format line into a Request. Dept/Item/Tick
+// are not recoverable from a log line and are left zero; use a Site's
+// ParseURL to resolve them.
+func ParseCLF(line string) (Request, error) {
+	var r Request
+	fail := func(what string) (Request, error) {
+		return Request{}, fmt.Errorf("trace: parse CLF line: bad %s in %q", what, line)
+	}
+
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 4 {
+		return fail("field count")
+	}
+	host, user := fields[0], fields[2]
+
+	lb := strings.IndexByte(line, '[')
+	rb := strings.IndexByte(line, ']')
+	if lb < 0 || rb < lb {
+		return fail("timestamp brackets")
+	}
+	ts, err := time.Parse(clfTimeLayout, line[lb+1:rb])
+	if err != nil {
+		return fail("timestamp")
+	}
+
+	lq := strings.IndexByte(line, '"')
+	rq := strings.LastIndexByte(line, '"')
+	if lq < 0 || rq <= lq {
+		return fail("request quotes")
+	}
+	reqParts := strings.Split(line[lq+1:rq], " ")
+	if len(reqParts) < 2 {
+		return fail("request line")
+	}
+
+	r.Time = ts
+	r.User = user
+	r.URL = host + reqParts[1]
+	return r, nil
+}
+
+// ReadLog parses a Common Log Format access-log.
+func ReadLog(rd io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		r, err := ParseCLF(line)
+		if err != nil {
+			return nil, err
+		}
+		r.Seq = len(out)
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read log: %w", err)
+	}
+	return out, nil
+}
+
+// SiteWorkload bundles a site with its workload configuration — one row of
+// Table II.
+type SiteWorkload struct {
+	Label string
+	Site  *origin.Site
+	Load  Config
+}
+
+// PaperSites returns the three synthetic site/workload pairs calibrated to
+// Table II: request counts match exactly (16407, 1476, 7460) and mean
+// document sizes land in the 30-50 KB band so Direct KB comes out at the
+// paper's scale. scale in (0,1] shrinks the request counts proportionally
+// for cheaper runs.
+func PaperSites(scale float64) []SiteWorkload {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	n := func(requests int) int {
+		v := int(float64(requests) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	// User population scales with the trace so the per-user warmup cost
+	// (first contact with each class is a full response plus a base fetch)
+	// stays a constant fraction of the workload at any scale.
+	u := func(users int) int {
+		v := int(float64(users) * scale)
+		// Anonymization needs several distinct non-owner users per class;
+		// keep the population comfortably above that at any scale.
+		if v < 12 {
+			v = 12
+		}
+		return v
+	}
+	return []SiteWorkload{
+		{
+			Label: "site1",
+			Site: origin.NewSite(origin.Config{
+				Host:  "www.site1.com",
+				Style: origin.StylePathSegments,
+				Depts: []origin.Dept{
+					{Name: "news", Items: 60},
+					{Name: "markets", Items: 40},
+					{Name: "sports", Items: 40},
+				},
+				TemplateBytes: 42000,
+				ItemBytes:     2500,
+				ChurnBytes:    1200,
+				Personalized:  true,
+				Seed:          101,
+			}),
+			Load: Config{Requests: n(16407), Users: u(200), ZipfS: 0.9, TickEvery: 25, Seed: 11},
+		},
+		{
+			Label: "site2",
+			Site: origin.NewSite(origin.Config{
+				Host:  "www.site2.com",
+				Style: origin.StyleQueryHint,
+				Depts: []origin.Dept{
+					{Name: "laptops", Items: 30},
+					{Name: "desktops", Items: 30},
+				},
+				TemplateBytes: 31000,
+				ItemBytes:     2000,
+				ChurnBytes:    800,
+				Seed:          202,
+			}),
+			Load: Config{Requests: n(1476), Users: u(60), ZipfS: 0.8, TickEvery: 20, Seed: 22},
+		},
+		{
+			Label: "site3",
+			Site: origin.NewSite(origin.Config{
+				Host:  "www.site3.com",
+				Style: origin.StylePathHint,
+				Depts: []origin.Dept{
+					{Name: "portal", Items: 25},
+					{Name: "finance", Items: 25},
+					{Name: "weather", Items: 25},
+				},
+				TemplateBytes: 29000,
+				ItemBytes:     1800,
+				ChurnBytes:    700,
+				Personalized:  true,
+				Seed:          303,
+			}),
+			Load: Config{Requests: n(7460), Users: u(120), ZipfS: 1.0, TickEvery: 30, Seed: 33},
+		},
+	}
+}

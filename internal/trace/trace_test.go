@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"cbde/internal/origin"
+)
+
+func testSite() *origin.Site {
+	return origin.NewSite(origin.Config{
+		Host:          "www.t.com",
+		Style:         origin.StylePathSegments,
+		Depts:         []origin.Dept{{Name: "a", Items: 20}, {Name: "b", Items: 20}},
+		TemplateBytes: 2000,
+		ItemBytes:     300,
+		ChurnBytes:    100,
+		Seed:          9,
+	})
+}
+
+func TestGenerateBasics(t *testing.T) {
+	site := testSite()
+	reqs := Generate(site, Config{Requests: 500, Users: 10, TickEvery: 50, Seed: 1})
+	if len(reqs) != 500 {
+		t.Fatalf("got %d requests, want 500", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Seq != i {
+			t.Fatalf("request %d has Seq %d", i, r.Seq)
+		}
+		if r.Dept != "a" && r.Dept != "b" {
+			t.Fatalf("request %d has unknown dept %q", i, r.Dept)
+		}
+		if r.Item < 0 || r.Item >= 20 {
+			t.Fatalf("request %d item out of range: %d", i, r.Item)
+		}
+		if !strings.HasPrefix(r.URL, "www.t.com/") {
+			t.Fatalf("request %d URL %q lacks host", i, r.URL)
+		}
+		// URL must resolve back to (dept, item).
+		dept, item, err := site.ParseURL(r.URL)
+		if err != nil || dept != r.Dept || item != r.Item {
+			t.Fatalf("request %d URL does not round-trip: %v", i, err)
+		}
+	}
+	// Ticks advance on the configured cadence.
+	if reqs[0].Tick != 0 || reqs[499].Tick != 9 {
+		t.Errorf("ticks = %d..%d, want 0..9", reqs[0].Tick, reqs[499].Tick)
+	}
+	// Timestamps are monotone.
+	for i := 1; i < len(reqs); i++ {
+		if !reqs[i].Time.After(reqs[i-1].Time) {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	site := testSite()
+	a := Generate(site, Config{Requests: 100, Seed: 7})
+	b := Generate(site, Config{Requests: 100, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between runs", i)
+		}
+	}
+	c := Generate(site, Config{Requests: 100, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	site := testSite()
+	reqs := Generate(site, Config{Requests: 5000, ZipfS: 1.0, Seed: 3})
+	counts := map[string]int{}
+	for _, r := range reqs {
+		counts[r.URL]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(len(reqs)) / float64(len(counts))
+	if float64(max) < 3*mean {
+		t.Errorf("max document count %d not skewed vs mean %.1f; Zipf broken", max, mean)
+	}
+}
+
+func TestZipfUniformWhenSNearZero(t *testing.T) {
+	z := newZipf(10, 1e-9)
+	rng := rand.New(rand.NewPCG(1, 1))
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		counts[z.sample(rng)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-1000) > 200 {
+			t.Errorf("rank %d count %d, want ~1000 for uniform", i, c)
+		}
+	}
+}
+
+func TestCLFRoundTrip(t *testing.T) {
+	site := testSite()
+	reqs := Generate(site, Config{Requests: 50, Seed: 5})
+
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("read %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i].URL != reqs[i].URL {
+			t.Errorf("request %d URL = %q, want %q", i, got[i].URL, reqs[i].URL)
+		}
+		if got[i].User != reqs[i].User {
+			t.Errorf("request %d user = %q, want %q", i, got[i].User, reqs[i].User)
+		}
+		if !got[i].Time.Equal(reqs[i].Time) {
+			t.Errorf("request %d time = %v, want %v", i, got[i].Time, reqs[i].Time)
+		}
+	}
+}
+
+func TestFormatCLFShape(t *testing.T) {
+	r := Request{
+		URL:  "www.t.com/a/3",
+		User: "user007",
+		Time: time.Date(2002, 7, 1, 12, 0, 0, 0, time.UTC),
+	}
+	line := FormatCLF(r, 200, 12345)
+	want := `www.t.com - user007 [01/Jul/2002:12:00:00 +0000] "GET /a/3 HTTP/1.1" 200 12345`
+	if line != want {
+		t.Errorf("FormatCLF = %q\nwant        %q", line, want)
+	}
+	if got := FormatCLF(r, 200, 0); !strings.HasSuffix(got, " -") {
+		t.Errorf("size 0 should log '-': %q", got)
+	}
+}
+
+func TestParseCLFErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"too few fields",
+		`host - user no-brackets "GET / HTTP/1.1" 200 1`,
+		`host - user [bad-time] "GET / HTTP/1.1" 200 1`,
+		`host - user [01/Jul/2002:12:00:00 +0000] no-quotes 200 1`,
+		`host - user [01/Jul/2002:12:00:00 +0000] "GETONLY" 200 1`,
+	}
+	for _, line := range bad {
+		if _, err := ParseCLF(line); err == nil {
+			t.Errorf("ParseCLF(%q): expected error", line)
+		}
+	}
+}
+
+func TestReadLogSkipsBlankLines(t *testing.T) {
+	in := strings.NewReader("\n" + FormatCLF(Request{URL: "h/x", User: "u", Time: time.Now()}, 200, 1) + "\n\n")
+	got, err := ReadLog(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d requests, want 1", len(got))
+	}
+}
+
+func TestPaperSitesCalibration(t *testing.T) {
+	sites := PaperSites(1)
+	if len(sites) != 3 {
+		t.Fatalf("got %d sites, want 3", len(sites))
+	}
+	wantReqs := []int{16407, 1476, 7460} // Table II request counts
+	for i, sw := range sites {
+		if sw.Load.Requests != wantReqs[i] {
+			t.Errorf("%s: requests = %d, want %d", sw.Label, sw.Load.Requests, wantReqs[i])
+		}
+		// Mean document size must land in the paper's 30-50 KB band.
+		doc, err := sw.Site.Render(sw.Site.Depts()[0].Name, 0, "user001", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doc) < 28000 || len(doc) > 55000 {
+			t.Errorf("%s: document size %d outside the 30-50KB band", sw.Label, len(doc))
+		}
+	}
+}
+
+func TestPaperSitesScale(t *testing.T) {
+	sites := PaperSites(0.1)
+	if got := sites[0].Load.Requests; got != 1640 {
+		t.Errorf("scaled requests = %d, want 1640", got)
+	}
+	// Invalid scales fall back to 1.
+	if got := PaperSites(-1)[0].Load.Requests; got != 16407 {
+		t.Errorf("scale -1 requests = %d, want 16407", got)
+	}
+	if got := PaperSites(2)[0].Load.Requests; got != 16407 {
+		t.Errorf("scale 2 requests = %d, want 16407", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Requests != 1000 || c.Users != 50 || c.ZipfS != 0.9 || c.TickEvery != 20 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+	if c.Start.IsZero() || c.Interval != time.Second {
+		t.Errorf("time defaults missing: %+v", c)
+	}
+}

@@ -1,0 +1,41 @@
+package urlparts_test
+
+import (
+	"fmt"
+
+	"cbde/internal/urlparts"
+)
+
+func ExamplePartition() {
+	// The three URL organizations of the paper's Table I.
+	for _, url := range []string{
+		"www.foo.com/laptops?id=100",
+		"www.foo.com/?dept=laptops&id=100",
+		"www.foo.com/laptops/100",
+	} {
+		p, err := urlparts.Partition(url)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("hint=%s rest=%s\n", p.Hint, p.Rest)
+	}
+	// Output:
+	// hint=laptops rest=id=100
+	// hint=dept=laptops rest=id=100
+	// hint=laptops rest=100
+}
+
+func ExampleRuleSet_Add() {
+	// A site keyed by a "category" query parameter, described by the
+	// administrator with a regular expression.
+	rs := urlparts.NewRuleSet()
+	if err := rs.Add("shop.example.com", `category=(?P<hint>[^&]+)`); err != nil {
+		panic(err)
+	}
+	p, err := rs.Partition("shop.example.com/browse?page=2&category=cameras")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Hint)
+	// Output: cameras
+}

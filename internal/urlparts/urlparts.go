@@ -1,0 +1,203 @@
+// Package urlparts partitions URLs into the three parts the grouping
+// mechanism of Section III uses as search hints: the server-part, the
+// hint-part, and the rest.
+//
+// The server-part is the host ("the string from the beginning of the URL
+// till the first slash"). Which portion of the remainder serves as the
+// hint-part depends on how each web-site organizes its content (Table I);
+// site administrators describe it with regular expressions via RuleSet.Add,
+// and a built-in heuristic covers the three common layouts of Table I when
+// no rule is registered:
+//
+//	www.foo.com/laptops?id=100        -> hint "laptops",      rest "id=100"
+//	www.foo.com/?dept=laptops&id=100  -> hint "dept=laptops", rest "id=100"
+//	www.foo.com/laptops/100           -> hint "laptops",      rest "100"
+package urlparts
+
+import (
+	"fmt"
+	"net/url"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// Parts is the three-way partition of a URL.
+type Parts struct {
+	Server string // host, e.g. "www.foo.com"
+	Hint   string // site-organization-dependent similarity hint
+	Rest   string // remainder used to distinguish documents within a hint
+}
+
+// String renders the partition for logs and tests.
+func (p Parts) String() string {
+	return fmt.Sprintf("server=%q hint=%q rest=%q", p.Server, p.Hint, p.Rest)
+}
+
+// Rule extracts the hint-part from the post-host portion of a URL using an
+// administrator-supplied regular expression. The expression is applied to
+// the path-plus-query (without the leading slash). The hint is the content
+// of the capture group named "hint", or group 1 if there is no named group.
+// If a group named "rest" (or a second group) exists it becomes the rest;
+// otherwise the rest is the input with the hint match removed.
+type Rule struct {
+	pattern *regexp.Regexp
+	hintIdx int
+	restIdx int // 0 if absent
+}
+
+// NewRule compiles pattern into a Rule. The pattern must contain at least
+// one capture group.
+func NewRule(pattern string) (*Rule, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("urlparts: compile rule: %w", err)
+	}
+	if re.NumSubexp() < 1 {
+		return nil, fmt.Errorf("urlparts: rule %q has no capture group for the hint", pattern)
+	}
+	r := &Rule{pattern: re, hintIdx: 1}
+	for i, name := range re.SubexpNames() {
+		switch name {
+		case "hint":
+			r.hintIdx = i
+		case "rest":
+			r.restIdx = i
+		}
+	}
+	if r.restIdx == 0 && re.NumSubexp() >= 2 && r.hintIdx == 1 {
+		r.restIdx = 2
+	}
+	return r, nil
+}
+
+// apply extracts (hint, rest) from the path-plus-query s. ok is false when
+// the pattern does not match, in which case the caller falls back to the
+// default heuristic.
+func (r *Rule) apply(s string) (hint, rest string, ok bool) {
+	m := r.pattern.FindStringSubmatchIndex(s)
+	if m == nil {
+		return "", "", false
+	}
+	group := func(i int) (string, bool) {
+		if 2*i+1 >= len(m) || m[2*i] < 0 {
+			return "", false
+		}
+		return s[m[2*i]:m[2*i+1]], true
+	}
+	hint, ok = group(r.hintIdx)
+	if !ok {
+		return "", "", false
+	}
+	if r.restIdx > 0 {
+		if v, found := group(r.restIdx); found {
+			return hint, v, true
+		}
+	}
+	// Remove the hint match from the input to form the rest.
+	lo, hi := m[2*r.hintIdx], m[2*r.hintIdx+1]
+	rest = strings.Trim(s[:lo]+s[hi:], "/?&=")
+	return hint, rest, true
+}
+
+// RuleSet maps server-parts to hint-extraction rules and partitions URLs.
+// The zero value is not usable; call NewRuleSet. RuleSet is safe for
+// concurrent use.
+type RuleSet struct {
+	mu    sync.RWMutex
+	rules map[string]*Rule
+}
+
+// NewRuleSet returns an empty rule set; Partition falls back to the default
+// Table I heuristic for servers without a registered rule.
+func NewRuleSet() *RuleSet {
+	return &RuleSet{rules: make(map[string]*Rule)}
+}
+
+// Add registers a hint-extraction pattern for the given server-part,
+// replacing any previous rule for that server.
+func (rs *RuleSet) Add(server, pattern string) error {
+	rule, err := NewRule(pattern)
+	if err != nil {
+		return err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.rules[normalizeServer(server)] = rule
+	return nil
+}
+
+// Partition splits rawURL into server-part, hint-part and rest.
+func (rs *RuleSet) Partition(rawURL string) (Parts, error) {
+	server, pathQuery, err := splitServer(rawURL)
+	if err != nil {
+		return Parts{}, err
+	}
+	rs.mu.RLock()
+	rule := rs.rules[server]
+	rs.mu.RUnlock()
+	if rule != nil {
+		if hint, rest, ok := rule.apply(pathQuery); ok {
+			return Parts{Server: server, Hint: hint, Rest: rest}, nil
+		}
+	}
+	hint, rest := defaultHint(pathQuery)
+	return Parts{Server: server, Hint: hint, Rest: rest}, nil
+}
+
+// Partition applies the default heuristic with no administrator rules.
+func Partition(rawURL string) (Parts, error) {
+	return NewRuleSet().Partition(rawURL)
+}
+
+func normalizeServer(s string) string {
+	return strings.ToLower(strings.TrimSuffix(s, "/"))
+}
+
+// splitServer separates the host from the path-plus-query. URLs may arrive
+// without a scheme (as in the paper's Table I).
+func splitServer(rawURL string) (server, pathQuery string, err error) {
+	s := rawURL
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", "", fmt.Errorf("urlparts: parse %q: %w", rawURL, err)
+	}
+	if u.Host == "" {
+		return "", "", fmt.Errorf("urlparts: %q has no server-part", rawURL)
+	}
+	pq := strings.TrimPrefix(u.EscapedPath(), "/")
+	if u.RawQuery != "" {
+		pq += "?" + u.RawQuery
+	}
+	return normalizeServer(u.Host), pq, nil
+}
+
+// defaultHint implements the Table I heuristic on the path-plus-query
+// (without leading slash).
+func defaultHint(pathQuery string) (hint, rest string) {
+	path, query, _ := strings.Cut(pathQuery, "?")
+	path = strings.Trim(path, "/")
+
+	if path != "" {
+		// First path segment is the hint; remaining segments plus the query
+		// form the rest.
+		seg, remainder, _ := strings.Cut(path, "/")
+		rest = remainder
+		if query != "" {
+			if rest != "" {
+				rest += "?"
+			}
+			rest += query
+		}
+		return seg, rest
+	}
+	if query != "" {
+		// No path: the first query pair is the hint, remaining pairs the rest.
+		pair, remainder, _ := strings.Cut(query, "&")
+		return pair, remainder
+	}
+	return "", ""
+}

@@ -1,0 +1,180 @@
+package urlparts
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTableI verifies the exact partitions of the paper's Table I.
+func TestTableI(t *testing.T) {
+	tests := []struct {
+		url        string
+		hint, rest string
+	}{
+		{"www.foo.com/laptops?id=100", "laptops", "id=100"},
+		{"www.foo.com/?dept=laptops&id=100", "dept=laptops", "id=100"},
+		{"www.foo.com/laptops/100", "laptops", "100"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.url, func(t *testing.T) {
+			p, err := Partition(tt.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Server != "www.foo.com" {
+				t.Errorf("server = %q, want www.foo.com", p.Server)
+			}
+			if p.Hint != tt.hint {
+				t.Errorf("hint = %q, want %q", p.Hint, tt.hint)
+			}
+			if p.Rest != tt.rest {
+				t.Errorf("rest = %q, want %q", p.Rest, tt.rest)
+			}
+		})
+	}
+}
+
+func TestDefaultHeuristic(t *testing.T) {
+	tests := []struct {
+		url                string
+		server, hint, rest string
+	}{
+		{"http://example.com/news/sports/item42?ref=home", "example.com", "news", "sports/item42?ref=home"},
+		{"https://Example.COM/", "example.com", "", ""},
+		{"example.com", "example.com", "", ""},
+		{"example.com/a/b/c", "example.com", "a", "b/c"},
+		{"example.com/?x=1", "example.com", "x=1", ""},
+		{"example.com/?x=1&y=2&z=3", "example.com", "x=1", "y=2&z=3"},
+		{"example.com:8080/shop/cart", "example.com:8080", "shop", "cart"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.url, func(t *testing.T) {
+			p, err := Partition(tt.url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Server != tt.server || p.Hint != tt.hint || p.Rest != tt.rest {
+				t.Errorf("got %v, want server=%q hint=%q rest=%q", p, tt.server, tt.hint, tt.rest)
+			}
+		})
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	for _, u := range []string{"", "http://", "://nope", "http://%zz/path"} {
+		if _, err := Partition(u); err == nil {
+			t.Errorf("Partition(%q): expected error", u)
+		}
+	}
+}
+
+func TestCustomRuleQueryParam(t *testing.T) {
+	// Site keyed by the "dept" query parameter regardless of position.
+	rs := NewRuleSet()
+	if err := rs.Add("www.foo.com", `dept=(?P<hint>[^&]+)`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rs.Partition("www.foo.com/?id=100&dept=laptops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hint != "laptops" {
+		t.Errorf("hint = %q, want laptops", p.Hint)
+	}
+	if !strings.Contains(p.Rest, "id=100") {
+		t.Errorf("rest = %q, want it to retain id=100", p.Rest)
+	}
+}
+
+func TestCustomRuleTwoGroups(t *testing.T) {
+	rs := NewRuleSet()
+	// Second path segment is the hint; third is the rest.
+	if err := rs.Add("shop.example.com", `^catalog/([^/]+)/(.*)$`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rs.Partition("shop.example.com/catalog/laptops/item-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hint != "laptops" || p.Rest != "item-9" {
+		t.Errorf("got %v, want hint=laptops rest=item-9", p)
+	}
+}
+
+func TestCustomRuleNamedRest(t *testing.T) {
+	rs := NewRuleSet()
+	if err := rs.Add("a.com", `^(?P<rest>[^/]+)/(?P<hint>[^/]+)$`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rs.Partition("a.com/item-9/laptops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hint != "laptops" || p.Rest != "item-9" {
+		t.Errorf("got %v, want hint=laptops rest=item-9", p)
+	}
+}
+
+func TestRuleFallbackWhenNoMatch(t *testing.T) {
+	rs := NewRuleSet()
+	if err := rs.Add("www.foo.com", `^catalog/([^/]+)`); err != nil {
+		t.Fatal(err)
+	}
+	// URL does not match the rule: default heuristic applies.
+	p, err := rs.Partition("www.foo.com/laptops/100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hint != "laptops" || p.Rest != "100" {
+		t.Errorf("fallback failed: %v", p)
+	}
+}
+
+func TestRuleOnlyAppliesToItsServer(t *testing.T) {
+	rs := NewRuleSet()
+	if err := rs.Add("www.foo.com", `dept=(?P<hint>[^&]+)`); err != nil {
+		t.Fatal(err)
+	}
+	p, err := rs.Partition("www.bar.com/?dept=laptops&id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Hint != "dept=laptops" { // default heuristic, not the foo.com rule
+		t.Errorf("hint = %q, want dept=laptops via default heuristic", p.Hint)
+	}
+}
+
+func TestBadRule(t *testing.T) {
+	rs := NewRuleSet()
+	if err := rs.Add("x.com", `([`); err == nil {
+		t.Error("expected compile error")
+	}
+	if err := rs.Add("x.com", `no-groups-here`); err == nil {
+		t.Error("expected error for rule without capture group")
+	}
+	if _, err := NewRule(`(`); err == nil {
+		t.Error("expected compile error from NewRule")
+	}
+}
+
+func TestConcurrentPartition(t *testing.T) {
+	rs := NewRuleSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				_ = rs.Add("www.foo.com", `dept=(?P<hint>[^&]+)`)
+			}
+			for j := 0; j < 200; j++ {
+				if _, err := rs.Partition("www.foo.com/laptops?id=1"); err != nil {
+					t.Errorf("Partition: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,42 @@
+package vcdiff
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the RFC 3284 decoder against arbitrary streams.
+func FuzzDecode(f *testing.F) {
+	source := []byte("source material the fuzzer decodes against, long enough to copy from")
+	good, err := Encode(source, []byte("source material the fuzzer decodes against, but edited"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{0xD6, 0xC3, 0xC4, 0x00, 0x00})
+	f.Add(good[:7])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, delta []byte) {
+		_, _ = Decode(source, delta)
+	})
+}
+
+// FuzzRoundTrip checks Encode/Decode on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("source"), []byte("target"))
+	f.Add([]byte{}, []byte("fresh"))
+	f.Add([]byte("gone"), []byte{})
+	f.Fuzz(func(t *testing.T, source, target []byte) {
+		delta, err := Encode(source, target)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(source, delta)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

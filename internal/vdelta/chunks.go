@@ -1,0 +1,159 @@
+package vdelta
+
+import "bytes"
+
+// CommonChunks partitions base into aligned chunks of chunkSize bytes (the
+// paper partitions files into four-byte chunks) and reports, for each chunk,
+// whether its exact bytes appear anywhere in target. A trailing partial
+// chunk, if any, is included and matched by its actual (shorter) length.
+//
+// This is the primitive the anonymization process of Section V is built on:
+// during delta-encoding between the base-file and another user's document,
+// a base chunk is "common" exactly when it occurs in that document.
+// CommonChunksRun is usually preferable: bare chunk-width occurrences admit
+// too many chance matches on real content.
+func CommonChunks(base, target []byte, chunkSize int) []bool {
+	if chunkSize < 1 {
+		chunkSize = DefaultChunkSize
+	}
+	numChunks := (len(base) + chunkSize - 1) / chunkSize
+	common := make([]bool, numChunks)
+	if len(base) == 0 || len(target) == 0 {
+		return common
+	}
+
+	w := chunkSize
+	if w > len(target) {
+		w = len(target)
+	}
+
+	// Index every target window of width w, verifying on lookup to rule out
+	// hash collisions.
+	idx := newChunkIndex(len(target), 64)
+	for i := 0; i+w <= len(target); i++ {
+		idx.add(hashChunk(target, i, w), int32(i))
+	}
+
+	contains := func(chunk []byte) bool {
+		if len(chunk) < w {
+			// Trailing partial chunk shorter than the window: brute force.
+			return bytesContains(target, chunk)
+		}
+		h := hashChunk(chunk, 0, w)
+		for _, pos := range idx.lookup(h) {
+			if bytesEqualAt(target, int(pos), chunk[:w]) {
+				if len(chunk) == w {
+					return true
+				}
+				// Full chunk is wider than the index window; verify the rest.
+				if bytesEqualAt(target, int(pos), chunk) {
+					return true
+				}
+			}
+		}
+		// The bounded chain may have dropped the matching position; fall
+		// back to a direct scan only for chunks whose hash bucket was full.
+		if len(idx.lookup(h)) >= 64 {
+			return bytesContains(target, chunk)
+		}
+		return false
+	}
+
+	for ci := 0; ci < numChunks; ci++ {
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > len(base) {
+			hi = len(base)
+		}
+		common[ci] = contains(base[lo:hi])
+	}
+	return common
+}
+
+func bytesEqualAt(b []byte, pos int, chunk []byte) bool {
+	return pos+len(chunk) <= len(b) && bytes.Equal(b[pos:pos+len(chunk)], chunk)
+}
+
+func bytesContains(haystack, needle []byte) bool {
+	return bytes.Contains(haystack, needle)
+}
+
+// CommonChunksRun is CommonChunks with a match-run requirement: a base
+// chunk counts as common only when it lies inside a common substring of at
+// least runLen bytes shared with target. This matches how Vdelta actually
+// finds matches — chunk hashes only seed matches, which are then extended
+// maximally — and prevents incidental chunk-width collisions ("the ",
+// "<div") from marking genuinely private regions as common. runLen values
+// below chunkSize behave like CommonChunks.
+func CommonChunksRun(base, target []byte, chunkSize, runLen int) []bool {
+	if chunkSize < 1 {
+		chunkSize = DefaultChunkSize
+	}
+	if runLen <= chunkSize {
+		return CommonChunks(base, target, chunkSize)
+	}
+	numChunks := (len(base) + chunkSize - 1) / chunkSize
+	common := make([]bool, numChunks)
+	if len(base) == 0 || len(target) == 0 || runLen > len(target) {
+		return common
+	}
+
+	// covered[i] will report whether base[i] lies in a common run of at
+	// least runLen bytes. Seed candidate runs with a window index over the
+	// target, verify, and extend maximally in both directions.
+	w := chunkSize
+	idx := newChunkIndex(len(target), 64)
+	for i := 0; i+w <= len(target); i++ {
+		idx.add(hashChunk(target, i, w), int32(i))
+	}
+
+	covered := make([]bool, len(base))
+	for i := 0; i+w <= len(base); i++ {
+		if covered[i] {
+			continue
+		}
+		h := hashChunk(base, i, w)
+		bestLen, bestStart := 0, 0
+		for _, pos := range idx.lookup(h) {
+			p := int(pos)
+			if !bytesEqualAt(target, p, base[i:i+w]) {
+				continue
+			}
+			// Extend forwards.
+			n := w
+			for i+n < len(base) && p+n < len(target) && base[i+n] == target[p+n] {
+				n++
+			}
+			// Extend backwards.
+			back := 0
+			for i-back > 0 && p-back > 0 && base[i-back-1] == target[p-back-1] {
+				back++
+			}
+			if n+back > bestLen {
+				bestLen, bestStart = n+back, i-back
+			}
+		}
+		if bestLen >= runLen {
+			for k := bestStart; k < bestStart+bestLen; k++ {
+				covered[k] = true
+			}
+		}
+	}
+
+	for ci := 0; ci < numChunks; ci++ {
+		lo := ci * chunkSize
+		hi := lo + chunkSize
+		if hi > len(base) {
+			hi = len(base)
+		}
+		all := true
+		for k := lo; k < hi; k++ {
+			if !covered[k] {
+				all = false
+				break
+			}
+		}
+		common[ci] = all
+	}
+	return common
+}

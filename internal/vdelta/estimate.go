@@ -1,0 +1,86 @@
+package vdelta
+
+import "encoding/binary"
+
+// DefaultEstimatorChunkSize is the chunk width of the light delta variant
+// used for grouping probes. The paper's light Vdelta "uses larger
+// byte-chunks and only traverses the file in the forward direction"
+// (footnote 2).
+const DefaultEstimatorChunkSize = 16
+
+// Estimator implements the light delta variant: it estimates the size of the
+// delta between a base-file and a document without materializing the delta.
+// It indexes the base at chunk-aligned positions only and extends matches
+// forward only, trading match quality for speed.
+//
+// An Estimator is safe for concurrent use.
+type Estimator struct {
+	chunkSize int
+	maxChain  int
+}
+
+// NewEstimator returns an Estimator. Supported options are WithChunkSize and
+// WithMaxChain; others are ignored.
+func NewEstimator(opts ...Option) *Estimator {
+	cfg := defaultConfig()
+	cfg.chunkSize = DefaultEstimatorChunkSize
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Estimator{chunkSize: cfg.chunkSize, maxChain: cfg.maxChain}
+}
+
+// Estimate returns an estimate, in bytes, of the size of the delta that
+// would transform base into target. The estimate is an upper bound in
+// expectation relative to the full encoder, because the light variant finds
+// fewer and shorter matches.
+func (e *Estimator) Estimate(base, target []byte) int {
+	w := e.chunkSize
+
+	idx := newChunkIndex(len(base)/w+1, e.maxChain)
+	for i := 0; i+w <= len(base); i += w {
+		idx.add(hashChunk(base, i, w), int32(i))
+	}
+
+	const headerOverhead = 5 + 4 // magic+flags, checksum
+	size := headerOverhead + uvarintLen(uint64(len(base))) + uvarintLen(uint64(len(target))) + 1
+
+	lit := 0
+	pos := 0
+	flushLit := func() {
+		if lit > 0 {
+			size += 1 + uvarintLen(uint64(lit)) + lit
+			lit = 0
+		}
+	}
+	for pos+w <= len(target) {
+		h := hashChunk(target, pos, w)
+		bestStart, bestLen := -1, 0
+		for _, c := range idx.lookup(h) {
+			start := int(c)
+			n := 0
+			for start+n < len(base) && pos+n < len(target) && base[start+n] == target[pos+n] {
+				n++
+			}
+			if n > bestLen {
+				bestStart, bestLen = start, n
+			}
+		}
+		if bestLen >= w {
+			flushLit()
+			size += 1 + uvarintLen(uint64(bestStart)) + uvarintLen(uint64(bestLen))
+			pos += bestLen
+			continue
+		}
+		lit++
+		pos++
+	}
+	lit += len(target) - pos
+	flushLit()
+	return size
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}

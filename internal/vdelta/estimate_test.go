@@ -1,0 +1,153 @@
+package vdelta
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestEstimateIdentical(t *testing.T) {
+	doc := bytes.Repeat([]byte("0123456789abcdef"), 1000) // 16 KB
+	est := NewEstimator()
+	got := est.Estimate(doc, doc)
+	if got > 128 {
+		t.Errorf("Estimate(identical 16KB) = %d, want tiny", got)
+	}
+}
+
+func TestEstimateDisjoint(t *testing.T) {
+	base := bytes.Repeat([]byte("AAAAAAAABBBBBBBB"), 500)
+	target := bytes.Repeat([]byte("ccccccccdddddddd"), 500)
+	est := NewEstimator()
+	got := est.Estimate(base, target)
+	if got < len(target) {
+		t.Errorf("Estimate(disjoint) = %d, want >= target length %d", got, len(target))
+	}
+}
+
+func TestEstimateTracksRealDeltaOrder(t *testing.T) {
+	// The estimate must rank a similar pair well below a dissimilar pair,
+	// since grouping decisions depend only on this ordering.
+	rng := rand.New(rand.NewPCG(11, 3))
+	base, similar := randDoc(rng, 8000)
+	_, dissimilar := randDoc(rng, 8000)
+	// Make dissimilar genuinely different content.
+	for i := range dissimilar {
+		dissimilar[i] ^= 0xA5
+	}
+	est := NewEstimator()
+	simEst := est.Estimate(base, similar)
+	disEst := est.Estimate(base, dissimilar)
+	if simEst >= disEst {
+		t.Errorf("estimate does not separate similar (%d) from dissimilar (%d)", simEst, disEst)
+	}
+}
+
+func TestEstimateUpperBoundsFullEncoder(t *testing.T) {
+	// On structured documents the light estimator should rarely beat the
+	// full encoder by a wide margin; it mostly over-estimates. Verify that
+	// it stays within a sane band rather than diverging.
+	rng := rand.New(rand.NewPCG(5, 9))
+	c := NewCoder()
+	est := NewEstimator()
+	for i := 0; i < 30; i++ {
+		base, target := randDoc(rng, 4000)
+		delta, err := c.Encode(base, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := est.Estimate(base, target)
+		if e < len(delta)/4 {
+			t.Errorf("iter %d: estimate %d is implausibly below real delta %d", i, e, len(delta))
+		}
+	}
+}
+
+func TestEstimateEmptyInputs(t *testing.T) {
+	est := NewEstimator()
+	if got := est.Estimate(nil, nil); got <= 0 {
+		t.Errorf("Estimate(nil,nil) = %d, want positive header overhead", got)
+	}
+	target := []byte("fresh content")
+	if got := est.Estimate(nil, target); got < len(target) {
+		t.Errorf("Estimate(nil, doc) = %d, want >= %d", got, len(target))
+	}
+}
+
+func TestEstimatorChunkSizeOption(t *testing.T) {
+	base := bytes.Repeat([]byte("shared segment of content "), 200)
+	target := append([]byte("hdr "), base...)
+	coarse := NewEstimator(WithChunkSize(64)).Estimate(base, target)
+	fine := NewEstimator(WithChunkSize(4)).Estimate(base, target)
+	if fine > coarse+1024 {
+		t.Errorf("finer chunks should not estimate much larger: fine=%d coarse=%d", fine, coarse)
+	}
+}
+
+func TestCommonChunksAllCommon(t *testing.T) {
+	base := []byte("abcdefghijklmnop")
+	common := CommonChunks(base, base, 4)
+	if len(common) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(common))
+	}
+	for i, c := range common {
+		if !c {
+			t.Errorf("chunk %d not common against identical doc", i)
+		}
+	}
+}
+
+func TestCommonChunksNoneCommon(t *testing.T) {
+	base := []byte("aaaabbbbccccdddd")
+	target := []byte("zzzzyyyyxxxxwwww")
+	for _, c := range CommonChunks(base, target, 4) {
+		if c {
+			t.Error("chunk marked common against disjoint doc")
+		}
+	}
+}
+
+func TestCommonChunksUnalignedOccurrence(t *testing.T) {
+	// The shared run sits at an unaligned offset in the target; aligned
+	// base chunks inside the run must still be found.
+	base := []byte("0000SHAREDRUN0000")
+	target := []byte("xySHAREDRUNxy")
+	common := CommonChunks(base, target, 4)
+	// base chunks: "0000" "SHAR" "EDRU" "N000" "0"
+	if !common[1] || !common[2] {
+		t.Errorf("chunks inside shared run not detected: %v", common)
+	}
+	if common[0] {
+		t.Errorf("chunk %q falsely common", base[0:4])
+	}
+}
+
+func TestCommonChunksTrailingPartial(t *testing.T) {
+	base := []byte("abcdefgXY") // chunks: abcd efgX Y(partial)
+	target := []byte("...Y...")
+	common := CommonChunks(base, target, 4)
+	if len(common) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(common))
+	}
+	if !common[2] {
+		t.Error("trailing partial chunk 'Y' should be common")
+	}
+}
+
+func TestCommonChunksEmpty(t *testing.T) {
+	if got := CommonChunks(nil, []byte("x"), 4); len(got) != 0 {
+		t.Errorf("empty base: got %v, want empty", got)
+	}
+	got := CommonChunks([]byte("abcd"), nil, 4)
+	if len(got) != 1 || got[0] {
+		t.Errorf("empty target: got %v, want [false]", got)
+	}
+}
+
+func TestCommonChunksBadChunkSizeDefaults(t *testing.T) {
+	base := []byte("abcdefgh")
+	got := CommonChunks(base, base, 0)
+	if len(got) != 2 { // defaults to 4-byte chunks
+		t.Errorf("got %d chunks, want 2 with default chunk size", len(got))
+	}
+}

@@ -1,0 +1,57 @@
+package vdelta_test
+
+import (
+	"fmt"
+
+	"cbde/internal/vdelta"
+)
+
+func Example() {
+	yesterday := []byte("<html><body>widgets: 14 in stock, $19.99</body></html>")
+	today := []byte("<html><body>widgets: 9 in stock, $17.49 SALE</body></html>")
+
+	delta, err := vdelta.Encode(yesterday, today)
+	if err != nil {
+		panic(err)
+	}
+	restored, err := vdelta.Decode(yesterday, delta)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(string(restored) == string(today))
+	// Output: true
+}
+
+func ExampleCoder_EncodeIndexed() {
+	coder := vdelta.NewCoder()
+	base := []byte("a class base-file that many requests will be encoded against")
+	ix := coder.NewIndex(base) // index once per rebase, reuse per request
+
+	for _, doc := range []string{
+		"a class base-file that request ONE will be encoded against",
+		"a class base-file that request TWO will be encoded against",
+	} {
+		delta, err := coder.EncodeIndexed(ix, []byte(doc))
+		if err != nil {
+			panic(err)
+		}
+		out, err := coder.Decode(base, delta)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(string(out) == doc)
+	}
+	// Output:
+	// true
+	// true
+}
+
+func ExampleEstimator() {
+	est := vdelta.NewEstimator() // the paper's "light" Vdelta variant
+	base := []byte("shared template shared template shared template")
+	similar := []byte("shared template shared template shared template EXTRA")
+	different := []byte("completely unrelated page with other words entirely!!")
+
+	fmt.Println(est.Estimate(base, similar) < est.Estimate(base, different))
+	// Output: true
+}

@@ -1,0 +1,66 @@
+package vdelta
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the decoder against arbitrary delta bytes: it must
+// return an error or a value, never panic or over-read.
+func FuzzDecode(f *testing.F) {
+	base := []byte("a base file the fuzzer applies deltas against, with content")
+	good, err := Encode(base, []byte("a base file the fuzzer applies deltas against, extended"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("VD01"))
+	f.Add(good[:len(good)/2])
+	f.Fuzz(func(t *testing.T, delta []byte) {
+		_, _ = Decode(base, delta)
+		_, _ = Stats(delta)
+		_, _, _, _ = Ops(delta)
+	})
+}
+
+// FuzzRoundTrip checks the fundamental codec property on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("base"), []byte("target"))
+	f.Add([]byte{}, []byte("only target"))
+	f.Add([]byte("only base"), []byte{})
+	f.Add(bytes.Repeat([]byte("ab"), 300), bytes.Repeat([]byte("ab"), 301))
+	f.Fuzz(func(t *testing.T, base, target []byte) {
+		delta, err := Encode(base, target)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		got, err := Decode(base, delta)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(target))
+		}
+	})
+}
+
+// FuzzCommonChunksRun must never panic regardless of sizes.
+func FuzzCommonChunksRun(f *testing.F) {
+	f.Add([]byte("base bytes"), []byte("target bytes"), 4, 16)
+	f.Add([]byte{}, []byte{}, 0, 0)
+	f.Add([]byte("x"), []byte("y"), -3, 1000)
+	f.Fuzz(func(t *testing.T, base, target []byte, chunkSize, runLen int) {
+		if chunkSize > 1<<16 || chunkSize < -1<<16 || runLen > 1<<16 || runLen < -1<<16 {
+			t.Skip()
+		}
+		common := CommonChunksRun(base, target, chunkSize, runLen)
+		cs := chunkSize
+		if cs < 1 {
+			cs = DefaultChunkSize
+		}
+		if want := (len(base) + cs - 1) / cs; len(common) != want {
+			t.Fatalf("got %d chunks, want %d", len(common), want)
+		}
+	})
+}

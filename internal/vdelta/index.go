@@ -1,0 +1,54 @@
+package vdelta
+
+// Index is a reusable hash-table index over one base-file. Building the
+// index is the dominant cost of Encode (every base position is hashed and
+// chained); a delta-server encodes many documents against the same class
+// base-file, so it indexes the base once per rebase and reuses the Index
+// across requests.
+//
+// An Index is immutable after construction and safe for concurrent use. It
+// must only be used with the Coder configuration that produced it.
+type Index struct {
+	cfg  config
+	base []byte
+	idx  *chunkIndex
+}
+
+// NewIndex builds a reusable index over base. The base bytes are copied, so
+// callers may reuse their slice.
+func (c *Coder) NewIndex(base []byte) *Index {
+	b := make([]byte, len(base))
+	copy(b, base)
+	w := c.cfg.chunkSize
+	idx := newChunkIndex(len(b)/w+1, c.cfg.maxChain)
+	for i := 0; i+w <= len(b); i++ {
+		idx.add(hashChunk(b, i, w), int32(i))
+	}
+	return &Index{cfg: c.cfg, base: b, idx: idx}
+}
+
+// Base returns the indexed base-file bytes. Callers must not modify them.
+func (ix *Index) Base() []byte { return ix.base }
+
+// Len returns the indexed base-file length.
+func (ix *Index) Len() int { return len(ix.base) }
+
+// EncodeIndexed computes the delta that transforms the indexed base into
+// target, skipping the per-call base indexing that Encode performs.
+func (c *Coder) EncodeIndexed(ix *Index, target []byte) ([]byte, error) {
+	if len(target) > maxInputLen {
+		return nil, errInputTooLarge(len(ix.base), len(target))
+	}
+	var targetIdx *chunkIndex
+	if c.cfg.targetMatching {
+		targetIdx = newChunkIndex(len(target)/c.cfg.chunkSize+1, c.cfg.maxChain)
+	}
+	enc := deltaEncoder{
+		cfg:       c.cfg,
+		base:      ix.base,
+		target:    target,
+		baseIdx:   ix.idx,
+		targetIdx: targetIdx,
+	}
+	return enc.run(), nil
+}

@@ -1,0 +1,139 @@
+package vdelta
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+func TestEncodeIndexedMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 4))
+	c := NewCoder()
+	for i := 0; i < 50; i++ {
+		base, target := randDoc(rng, 200+rng.IntN(5000))
+		plain, err := c.Encode(base, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := c.NewIndex(base)
+		indexed, err := c.EncodeIndexed(ix, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(plain, indexed) {
+			t.Fatalf("iter %d: EncodeIndexed differs from Encode (%d vs %d bytes)",
+				i, len(indexed), len(plain))
+		}
+		got, err := c.Decode(base, indexed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("iter %d: indexed round trip mismatch", i)
+		}
+	}
+}
+
+func TestIndexReusableAcrossTargets(t *testing.T) {
+	rng := rand.New(rand.NewPCG(22, 5))
+	c := NewCoder()
+	base, _ := randDoc(rng, 4000)
+	ix := c.NewIndex(base)
+	for i := 0; i < 20; i++ {
+		_, target := randDoc(rng, 3000)
+		delta, err := c.EncodeIndexed(ix, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Decode(base, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, target) {
+			t.Fatalf("reuse %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestIndexCopiesBase(t *testing.T) {
+	c := NewCoder()
+	base := []byte("mutable base contents here")
+	ix := c.NewIndex(base)
+	base[0] = 'X'
+	if ix.Base()[0] == 'X' {
+		t.Error("Index retained the caller's slice")
+	}
+	if ix.Len() != len(base) {
+		t.Errorf("Len() = %d, want %d", ix.Len(), len(base))
+	}
+}
+
+func TestIndexConcurrentEncode(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 6))
+	c := NewCoder()
+	base, _ := randDoc(rng, 6000)
+	ix := c.NewIndex(base)
+
+	targets := make([][]byte, 8)
+	for i := range targets {
+		_, targets[i] = randDoc(rng, 4000)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(target []byte) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				delta, err := c.EncodeIndexed(ix, target)
+				if err != nil {
+					t.Errorf("EncodeIndexed: %v", err)
+					return
+				}
+				got, err := c.Decode(base, delta)
+				if err != nil || !bytes.Equal(got, target) {
+					t.Errorf("concurrent round trip failed: %v", err)
+					return
+				}
+			}
+		}(targets[w])
+	}
+	wg.Wait()
+}
+
+func TestIndexEmptyBase(t *testing.T) {
+	c := NewCoder()
+	ix := c.NewIndex(nil)
+	delta, err := c.EncodeIndexed(ix, []byte("fresh content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(nil, delta)
+	if err != nil || string(got) != "fresh content" {
+		t.Fatalf("empty-base indexed encode failed: %v", err)
+	}
+}
+
+func BenchmarkEncodeVsIndexed(b *testing.B) {
+	rng := rand.New(rand.NewPCG(24, 7))
+	c := NewCoder()
+	base, target := randDoc(rng, 50000)
+	b.Run("fresh-index", func(b *testing.B) {
+		b.SetBytes(int64(len(target)))
+		for n := 0; n < b.N; n++ {
+			if _, err := c.Encode(base, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused-index", func(b *testing.B) {
+		ix := c.NewIndex(base)
+		b.SetBytes(int64(len(target)))
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			if _, err := c.EncodeIndexed(ix, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

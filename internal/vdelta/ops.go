@@ -1,0 +1,67 @@
+package vdelta
+
+import "fmt"
+
+// OpKind distinguishes delta instructions.
+type OpKind int
+
+const (
+	// OpAdd carries literal bytes.
+	OpAdd OpKind = iota + 1
+	// OpCopy copies Len bytes from virtual-source offset Start (the base
+	// followed by the already-reconstructed target prefix).
+	OpCopy
+)
+
+// Op is one decoded delta instruction.
+type Op struct {
+	Kind  OpKind
+	Data  []byte // literal bytes (OpAdd); aliases the delta buffer
+	Start int    // virtual-source offset (OpCopy)
+	Len   int    // copy length (OpCopy)
+}
+
+// Ops parses a delta into its instruction list without applying it. The
+// returned literal slices alias the delta buffer. Along with the ops it
+// returns the base and target lengths recorded in the header.
+func Ops(delta []byte) ([]Op, int, int, error) {
+	hdr, body, err := parseHeader(delta)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	var ops []Op
+	for {
+		if len(body) == 0 {
+			return nil, 0, 0, fmt.Errorf("%w: missing end marker", ErrCorrupt)
+		}
+		op := body[0]
+		body = body[1:]
+		switch op {
+		case opEnd:
+			return ops, hdr.baseLen, hdr.targetLen, nil
+		case opAdd:
+			n, rest, err := readUvarint(body)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if n > len(rest) {
+				return nil, 0, 0, fmt.Errorf("%w: ADD overruns delta", ErrCorrupt)
+			}
+			ops = append(ops, Op{Kind: OpAdd, Data: rest[:n]})
+			body = rest[n:]
+		case opCopy:
+			start, rest, err := readUvarint(body)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			length, rest, err := readUvarint(rest)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			ops = append(ops, Op{Kind: OpCopy, Start: start, Len: length})
+			body = rest
+		default:
+			return nil, 0, 0, fmt.Errorf("%w: unknown opcode 0x%02x", ErrCorrupt, op)
+		}
+	}
+}

@@ -1,0 +1,631 @@
+// Package vdelta implements a Vdelta-style delta codec (Hunt, Vo, Tichy;
+// ACM TOSEM 1998), the algorithm the paper builds on.
+//
+// Encode produces a compact instruction stream (the "delta") that, combined
+// with the base-file it was computed against, reconstructs the target
+// document byte-for-byte. The encoder indexes the base-file with a hash
+// table keyed by w-byte chunks (w=4 by default, as in the paper), finds
+// maximally long matches by extending candidate matches both forwards and
+// backwards, and can additionally copy from the already-emitted target
+// prefix, which gives cheap run-length behaviour.
+//
+// The package also provides the "light" variant the paper uses for cheap
+// class-grouping probes (footnote 2): larger byte-chunks and forward-only
+// traversal; see Estimator.
+package vdelta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Wire format constants.
+const (
+	magic0 = 'V'
+	magic1 = 'D'
+	magic2 = '0'
+	magic3 = '1'
+
+	flagChecksum = 1 << 0
+
+	opEnd  = 0x00
+	opAdd  = 0x01
+	opCopy = 0x02
+)
+
+// Defaults for encoder configuration.
+const (
+	DefaultChunkSize = 4
+	DefaultMaxChain  = 16
+	DefaultMinMatch  = 4
+
+	minChunkSize = 2
+	maxChunkSize = 64
+)
+
+// Errors returned by Decode and Stats.
+var (
+	// ErrCorrupt reports a structurally invalid or truncated delta.
+	ErrCorrupt = errors.New("vdelta: corrupt delta")
+	// ErrBaseMismatch reports that the base-file supplied to Decode is not
+	// the base-file the delta was encoded against.
+	ErrBaseMismatch = errors.New("vdelta: base-file does not match delta")
+	// ErrChecksum reports that the reconstructed target failed verification.
+	ErrChecksum = errors.New("vdelta: target checksum mismatch")
+)
+
+type config struct {
+	chunkSize      int
+	maxChain       int
+	minMatch       int
+	targetMatching bool
+	checksum       bool
+}
+
+func defaultConfig() config {
+	return config{
+		chunkSize:      DefaultChunkSize,
+		maxChain:       DefaultMaxChain,
+		minMatch:       DefaultMinMatch,
+		targetMatching: true,
+		checksum:       true,
+	}
+}
+
+// Option configures a Coder.
+type Option func(*config)
+
+// WithChunkSize sets the width, in bytes, of the chunks used to key the
+// hash-table index. The paper's Vdelta uses 4; the light grouping variant
+// uses larger chunks. Values are clamped to [2, 64].
+func WithChunkSize(w int) Option {
+	return func(c *config) {
+		if w < minChunkSize {
+			w = minChunkSize
+		}
+		if w > maxChunkSize {
+			w = maxChunkSize
+		}
+		c.chunkSize = w
+		if c.minMatch < w {
+			c.minMatch = w
+		}
+	}
+}
+
+// WithMaxChain bounds how many candidate positions are kept per hash bucket.
+// Larger values find better matches at higher CPU cost.
+func WithMaxChain(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.maxChain = n
+	}
+}
+
+// WithMinMatch sets the minimum match length worth emitting as a COPY.
+// It is raised to the chunk size if smaller.
+func WithMinMatch(n int) Option {
+	return func(c *config) {
+		if n < minChunkSize {
+			n = minChunkSize
+		}
+		c.minMatch = n
+	}
+}
+
+// WithTargetMatching enables or disables copies from the already-encoded
+// target prefix (enabled by default).
+func WithTargetMatching(enabled bool) Option {
+	return func(c *config) { c.targetMatching = enabled }
+}
+
+// WithChecksum enables or disables embedding an FNV-32a checksum of the
+// target in the delta (enabled by default).
+func WithChecksum(enabled bool) Option {
+	return func(c *config) { c.checksum = enabled }
+}
+
+// Coder is a reusable, configured encoder/decoder. The zero value is not
+// valid; use NewCoder. A Coder is safe for concurrent use: it holds only
+// immutable configuration.
+type Coder struct {
+	cfg config
+}
+
+// NewCoder returns a Coder with the given options applied over the defaults.
+func NewCoder(opts ...Option) *Coder {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.minMatch < cfg.chunkSize {
+		cfg.minMatch = cfg.chunkSize
+	}
+	return &Coder{cfg: cfg}
+}
+
+// Encode computes the delta that transforms base into target using the
+// default configuration.
+func Encode(base, target []byte) ([]byte, error) {
+	return NewCoder().Encode(base, target)
+}
+
+// Decode reconstructs the target from base and delta using the default
+// configuration.
+func Decode(base, delta []byte) ([]byte, error) {
+	return NewCoder().Decode(base, delta)
+}
+
+// maxInputLen bounds encoder inputs so offsets fit the wire format.
+const maxInputLen = math.MaxInt32
+
+// maxDecodeTarget bounds the target size a delta may declare, so forged
+// deltas cannot bomb the decoder with one giant allocation. Web documents
+// are orders of magnitude below this.
+const maxDecodeTarget = 1 << 28 // 256 MiB
+
+func errInputTooLarge(baseLen, targetLen int) error {
+	return fmt.Errorf("vdelta: input too large (base %d, target %d bytes)", baseLen, targetLen)
+}
+
+// checksumOf returns the FNV-32a hash of b.
+func checksumOf(b []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(b)
+	return h.Sum32()
+}
+
+// hashChunk hashes the w bytes starting at b[i]. Callers guarantee
+// i+w <= len(b).
+func hashChunk(b []byte, i, w int) uint32 {
+	// FNV-1a unrolled over w bytes; cheap and well distributed for small w.
+	h := uint32(2166136261)
+	for _, c := range b[i : i+w] {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// chunkIndex maps chunk hashes to source positions, with per-bucket chains
+// bounded by maxChain.
+type chunkIndex struct {
+	buckets  map[uint32][]int32
+	maxChain int
+}
+
+func newChunkIndex(capacityHint, maxChain int) *chunkIndex {
+	return &chunkIndex{
+		buckets:  make(map[uint32][]int32, capacityHint),
+		maxChain: maxChain,
+	}
+}
+
+func (idx *chunkIndex) add(h uint32, pos int32) {
+	chain := idx.buckets[h]
+	if len(chain) >= idx.maxChain {
+		return
+	}
+	idx.buckets[h] = append(chain, pos)
+}
+
+func (idx *chunkIndex) lookup(h uint32) []int32 {
+	return idx.buckets[h]
+}
+
+// Encode computes the delta that transforms base into target.
+//
+// The returned delta embeds the lengths of both files (and, unless disabled,
+// a checksum of the target) so that Decode can detect mismatched or corrupt
+// inputs. Encode never fails for in-range inputs; the error return exists
+// for forward compatibility and length-overflow protection.
+func (c *Coder) Encode(base, target []byte) ([]byte, error) {
+	if len(base) > maxInputLen || len(target) > maxInputLen {
+		return nil, errInputTooLarge(len(base), len(target))
+	}
+	w := c.cfg.chunkSize
+
+	// Index every base position (bounded chains). Positions in the virtual
+	// source are [0, len(base)) for the base and [len(base), ...) for the
+	// target prefix.
+	baseIdx := newChunkIndex(len(base)/w+1, c.cfg.maxChain)
+	for i := 0; i+w <= len(base); i++ {
+		baseIdx.add(hashChunk(base, i, w), int32(i))
+	}
+	var targetIdx *chunkIndex
+	if c.cfg.targetMatching {
+		targetIdx = newChunkIndex(len(target)/w+1, c.cfg.maxChain)
+	}
+
+	enc := deltaEncoder{
+		cfg:       c.cfg,
+		base:      base,
+		target:    target,
+		baseIdx:   baseIdx,
+		targetIdx: targetIdx,
+	}
+	return enc.run(), nil
+}
+
+// deltaEncoder holds the per-call encoding state.
+type deltaEncoder struct {
+	cfg       config
+	base      []byte
+	target    []byte
+	baseIdx   *chunkIndex
+	targetIdx *chunkIndex
+
+	out      []byte
+	litStart int // start of the pending literal run in target
+	pos      int // current scan position in target
+}
+
+// match describes a candidate copy. start is a virtual-source offset
+// (base first, then target prefix); length counts matched bytes including
+// any backward extension; back is how many of those bytes extend backwards
+// into the pending literal run.
+type match struct {
+	start  int
+	length int
+	back   int
+}
+
+func (e *deltaEncoder) run() []byte {
+	base, target := e.base, e.target
+	w := e.cfg.chunkSize
+
+	e.out = make([]byte, 0, len(target)/4+32)
+	e.writeHeader()
+
+	for e.pos+w <= len(target) {
+		h := hashChunk(target, e.pos, w)
+		best := e.bestMatch(h)
+		if best.length >= e.cfg.minMatch {
+			e.flushLiterals(e.pos - best.back)
+			e.emitCopy(best.start, best.length)
+			// Index the first position of the copied region so later target
+			// self-matches can find it.
+			if e.targetIdx != nil {
+				from := e.pos - best.back
+				e.indexTargetRange(from, from+best.length)
+			}
+			e.pos += best.length - best.back
+			e.litStart = e.pos
+			continue
+		}
+		if e.targetIdx != nil {
+			e.targetIdx.add(h, int32(len(base)+e.pos))
+		}
+		e.pos++
+	}
+	e.flushLiterals(len(target))
+	e.out = append(e.out, opEnd)
+	return e.out
+}
+
+// indexTargetRange adds chunk hashes for target[from:to) to the target
+// index, stepping by chunk size to bound the cost of long copies.
+func (e *deltaEncoder) indexTargetRange(from, to int) {
+	w := e.cfg.chunkSize
+	for i := from; i+w <= to && i+w <= len(e.target); i += w {
+		e.targetIdx.add(hashChunk(e.target, i, w), int32(len(e.base)+i))
+	}
+}
+
+// bestMatch returns the best match for the chunk hash h at e.pos, extending
+// candidates forwards and backwards.
+func (e *deltaEncoder) bestMatch(h uint32) match {
+	var best match
+	e.scanCandidates(e.baseIdx.lookup(h), &best)
+	if e.targetIdx != nil {
+		e.scanCandidates(e.targetIdx.lookup(h), &best)
+	}
+	return best
+}
+
+func (e *deltaEncoder) scanCandidates(chain []int32, best *match) {
+	for _, c := range chain {
+		m := e.extend(int(c))
+		if m.length > best.length {
+			*best = m
+		}
+	}
+}
+
+// srcByte returns the byte at virtual-source offset i: the base followed by
+// the target prefix.
+func (e *deltaEncoder) srcByte(i int) byte {
+	if i < len(e.base) {
+		return e.base[i]
+	}
+	return e.target[i-len(e.base)]
+}
+
+// extend verifies and maximally extends a candidate match whose chunk starts
+// at virtual-source offset start, against the target at e.pos.
+func (e *deltaEncoder) extend(start int) match {
+	base, target := e.base, e.target
+	srcLimit := len(base)
+	isTargetSrc := start >= len(base)
+	if isTargetSrc {
+		// A target self-copy may read up to, but not past, the data that
+		// will have been reconstructed when this copy executes. Decoder
+		// copies byte-by-byte, so overlapping forward extension past e.pos
+		// is legal (run-length behaviour): the source byte at offset
+		// len(base)+k is available once target[k] has been written.
+		srcLimit = len(base) + len(target)
+	}
+
+	// Forward extension, verifying from the chunk start.
+	n := 0
+	for start+n < srcLimit && e.pos+n < len(target) {
+		if isTargetSrc {
+			// Source byte k of the target prefix is only available if
+			// k < (position being written), i.e. start+n-len(base) < pos+n,
+			// which reduces to start-len(base) < pos and always holds for
+			// candidates indexed before pos. Overlap is therefore safe.
+			if target[start+n-len(base)] != target[e.pos+n] {
+				break
+			}
+		} else if base[start+n] != target[e.pos+n] {
+			break
+		}
+		n++
+	}
+	if n < e.cfg.chunkSize {
+		return match{}
+	}
+
+	// Backward extension into the pending literal run.
+	back := 0
+	for e.pos-back > e.litStart && start-back > 0 {
+		if e.srcByte(start-back-1) != target[e.pos-back-1] {
+			break
+		}
+		if isTargetSrc && start-back-1 < len(base) {
+			// Do not extend a target self-copy backwards into the base.
+			break
+		}
+		back++
+	}
+	return match{start: start - back, length: n + back, back: back}
+}
+
+func (e *deltaEncoder) writeHeader() {
+	e.out = append(e.out, magic0, magic1, magic2, magic3)
+	var flags byte
+	if e.cfg.checksum {
+		flags |= flagChecksum
+	}
+	e.out = append(e.out, flags)
+	e.out = binary.AppendUvarint(e.out, uint64(len(e.base)))
+	e.out = binary.AppendUvarint(e.out, uint64(len(e.target)))
+	if e.cfg.checksum {
+		e.out = binary.BigEndian.AppendUint32(e.out, checksumOf(e.target))
+	}
+}
+
+// flushLiterals emits the pending literal run target[litStart:upto) as an
+// ADD instruction.
+func (e *deltaEncoder) flushLiterals(upto int) {
+	if upto <= e.litStart {
+		return
+	}
+	lit := e.target[e.litStart:upto]
+	e.out = append(e.out, opAdd)
+	e.out = binary.AppendUvarint(e.out, uint64(len(lit)))
+	e.out = append(e.out, lit...)
+	e.litStart = upto
+}
+
+func (e *deltaEncoder) emitCopy(start, length int) {
+	e.out = append(e.out, opCopy)
+	e.out = binary.AppendUvarint(e.out, uint64(start))
+	e.out = binary.AppendUvarint(e.out, uint64(length))
+}
+
+// Decode reconstructs the target document from base and delta.
+//
+// It returns ErrBaseMismatch if base has a different length than the
+// base-file the delta was encoded against, ErrCorrupt for malformed input,
+// and ErrChecksum if the reconstructed target fails verification.
+func (c *Coder) Decode(base, delta []byte) ([]byte, error) {
+	hdr, body, err := parseHeader(delta)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.baseLen != len(base) {
+		return nil, fmt.Errorf("%w: delta was encoded against a %d-byte base, got %d bytes",
+			ErrBaseMismatch, hdr.baseLen, len(base))
+	}
+	if hdr.targetLen > maxDecodeTarget {
+		return nil, fmt.Errorf("%w: declared target of %d bytes exceeds limit", ErrCorrupt, hdr.targetLen)
+	}
+
+	// Allocate from actual instruction output, not the header value a
+	// forged delta controls; the end-marker check still enforces the
+	// declared length.
+	capHint := hdr.targetLen
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	out := make([]byte, 0, capHint)
+	for {
+		if len(body) == 0 {
+			return nil, fmt.Errorf("%w: missing end marker", ErrCorrupt)
+		}
+		op := body[0]
+		body = body[1:]
+		switch op {
+		case opEnd:
+			if len(out) != hdr.targetLen {
+				return nil, fmt.Errorf("%w: reconstructed %d bytes, header says %d",
+					ErrCorrupt, len(out), hdr.targetLen)
+			}
+			if hdr.hasChecksum && checksumOf(out) != hdr.checksum {
+				return nil, ErrChecksum
+			}
+			return out, nil
+
+		case opAdd:
+			n, rest, err := readUvarint(body)
+			if err != nil {
+				return nil, err
+			}
+			body = rest
+			if n > len(body) {
+				return nil, fmt.Errorf("%w: ADD of %d bytes overruns delta", ErrCorrupt, n)
+			}
+			if len(out)+n > hdr.targetLen {
+				return nil, fmt.Errorf("%w: ADD overruns target length", ErrCorrupt)
+			}
+			out = append(out, body[:n]...)
+			body = body[n:]
+
+		case opCopy:
+			start, rest, err := readUvarint(body)
+			if err != nil {
+				return nil, err
+			}
+			length, rest, err := readUvarint(rest)
+			if err != nil {
+				return nil, err
+			}
+			body = rest
+			if len(out)+length > hdr.targetLen {
+				return nil, fmt.Errorf("%w: COPY overruns target length", ErrCorrupt)
+			}
+			if start < len(base) {
+				// Copy from base; must fit entirely unless it spills into
+				// the target prefix region, which the encoder never emits.
+				if start+length > len(base) {
+					return nil, fmt.Errorf("%w: COPY [%d,%d) overruns base of %d bytes",
+						ErrCorrupt, start, start+length, len(base))
+				}
+				out = append(out, base[start:start+length]...)
+			} else {
+				// Copy from the already-reconstructed target prefix.
+				// May overlap the output being written: copy byte-by-byte.
+				from := start - len(base)
+				if from >= len(out) {
+					return nil, fmt.Errorf("%w: COPY from unwritten target offset %d (have %d)",
+						ErrCorrupt, from, len(out))
+				}
+				for i := 0; i < length; i++ {
+					out = append(out, out[from+i])
+				}
+			}
+
+		default:
+			return nil, fmt.Errorf("%w: unknown opcode 0x%02x", ErrCorrupt, op)
+		}
+	}
+}
+
+type header struct {
+	baseLen     int
+	targetLen   int
+	hasChecksum bool
+	checksum    uint32
+}
+
+func parseHeader(delta []byte) (header, []byte, error) {
+	var hdr header
+	if len(delta) < 5 || delta[0] != magic0 || delta[1] != magic1 || delta[2] != magic2 || delta[3] != magic3 {
+		return hdr, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	flags := delta[4]
+	body := delta[5:]
+	baseLen, body, err := readUvarint(body)
+	if err != nil {
+		return hdr, nil, err
+	}
+	targetLen, body, err := readUvarint(body)
+	if err != nil {
+		return hdr, nil, err
+	}
+	hdr.baseLen = baseLen
+	hdr.targetLen = targetLen
+	if flags&flagChecksum != 0 {
+		if len(body) < 4 {
+			return hdr, nil, fmt.Errorf("%w: truncated checksum", ErrCorrupt)
+		}
+		hdr.hasChecksum = true
+		hdr.checksum = binary.BigEndian.Uint32(body[:4])
+		body = body[4:]
+	}
+	return hdr, body, nil
+}
+
+func readUvarint(b []byte) (int, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	if v > math.MaxInt32 {
+		return 0, nil, fmt.Errorf("%w: varint out of range", ErrCorrupt)
+	}
+	return int(v), b[n:], nil
+}
+
+// Info summarizes the structure of an encoded delta.
+type Info struct {
+	BaseLen     int  // length of the base-file the delta was encoded against
+	TargetLen   int  // length of the reconstructed target
+	HasChecksum bool // whether the delta embeds a target checksum
+	NumAdd      int  // number of ADD instructions
+	NumCopy     int  // number of COPY instructions
+	AddBytes    int  // total literal bytes carried in the delta
+	CopyBytes   int  // total bytes reproduced via COPY instructions
+}
+
+// Stats parses delta and returns structural information without needing the
+// base-file. It validates structure but not content.
+func Stats(delta []byte) (Info, error) {
+	hdr, body, err := parseHeader(delta)
+	if err != nil {
+		return Info{}, err
+	}
+	info := Info{BaseLen: hdr.baseLen, TargetLen: hdr.targetLen, HasChecksum: hdr.hasChecksum}
+	for {
+		if len(body) == 0 {
+			return Info{}, fmt.Errorf("%w: missing end marker", ErrCorrupt)
+		}
+		op := body[0]
+		body = body[1:]
+		switch op {
+		case opEnd:
+			return info, nil
+		case opAdd:
+			n, rest, err := readUvarint(body)
+			if err != nil {
+				return Info{}, err
+			}
+			if n > len(rest) {
+				return Info{}, fmt.Errorf("%w: ADD overruns delta", ErrCorrupt)
+			}
+			info.NumAdd++
+			info.AddBytes += n
+			body = rest[n:]
+		case opCopy:
+			_, rest, err := readUvarint(body)
+			if err != nil {
+				return Info{}, err
+			}
+			length, rest, err := readUvarint(rest)
+			if err != nil {
+				return Info{}, err
+			}
+			info.NumCopy++
+			info.CopyBytes += length
+			body = rest
+		default:
+			return Info{}, fmt.Errorf("%w: unknown opcode 0x%02x", ErrCorrupt, op)
+		}
+	}
+}
