@@ -361,6 +361,117 @@ func BenchmarkEndToEndHTTP(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineProcessParallel drives Engine.Process from concurrent
+// goroutines (b.RunParallel) against warmed classes, reporting req/s. The
+// cross-class variant spreads goroutines over several classes (the realistic
+// multicore serving mix); the same-class variant hammers one class and so
+// measures residual per-class serialization. Together they put a multicore
+// data point next to the paper's single-core capacity table (Section VI-C).
+func BenchmarkEngineProcessParallel(b *testing.B) {
+	variants := []struct {
+		name    string
+		classes int
+	}{
+		{"same-class", 1},
+		{"cross-class", 8},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			benchEngineParallel(b, v.classes)
+		})
+	}
+}
+
+// benchEngineParallel warms nClasses classes to the delta-serving steady
+// state and then processes delta requests from all goroutines.
+func benchEngineParallel(b *testing.B, nClasses int) {
+	eng, err := core.NewEngine(core.Config{
+		Anon: anonymize.Config{M: 1, N: 2},
+		// Disable candidate sampling so the steady state is a pure
+		// route+encode path with no group-rebases mid-measurement.
+		Selector: basefile.Config{SampleProb: -1},
+		Now:      monotonic(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	type class struct {
+		id      string
+		version int
+		docs    [][]byte
+	}
+	classes := make([]*class, nClasses)
+	for c := 0; c < nClasses; c++ {
+		site := origin.NewSite(origin.Config{
+			Host:          fmt.Sprintf("www.cap%d.com", c),
+			Depts:         []origin.Dept{{Name: "catalog", Items: 2}},
+			TemplateBytes: 30000,
+			ItemBytes:     3000,
+			ChurnBytes:    1500,
+			Seed:          uint64(7000 + c),
+		})
+		url := fmt.Sprintf("www.cap%d.com/catalog/0", c)
+		// Warm through distinct users until the class distributes a base.
+		var resp core.Response
+		for u := 0; u < 4; u++ {
+			doc, err := site.Render("catalog", 0, "", u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err = eng.Process(core.Request{URL: url, UserID: fmt.Sprintf("warm%d", u), Doc: doc})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if resp.LatestVersion == 0 {
+			b.Fatalf("class %d: no distributable base after warmup", c)
+		}
+		cl := &class{id: resp.ClassID, version: resp.LatestVersion}
+		// Pre-render a cycle of near-base documents so measurement excludes
+		// document generation.
+		for t := 0; t < 16; t++ {
+			doc, err := site.Render("catalog", 0, "", 10+t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.docs = append(cl.docs, doc)
+		}
+		classes[c] = cl
+	}
+
+	urls := make([]string, nClasses)
+	for c := range urls {
+		urls[c] = fmt.Sprintf("www.cap%d.com/catalog/0", c)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c := i % nClasses
+			cl := classes[c]
+			req := core.Request{
+				URL:         urls[c],
+				UserID:      "bench",
+				Doc:         cl.docs[i%len(cl.docs)],
+				HaveClassID: cl.id,
+				HaveVersion: cl.version,
+			}
+			resp, err := eng.Process(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Kind != core.KindDelta {
+				b.Fatalf("expected delta response, got %v", resp.Kind)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
 func monotonic() func() time.Time {
 	base := time.Unix(1_000_000, 0)
 	n := 0

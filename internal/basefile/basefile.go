@@ -146,11 +146,13 @@ type sample struct {
 }
 
 // Selector implements the randomized online algorithm of Section IV.
-// It is safe for concurrent use.
+// It is safe for concurrent use; the read-only accessors (Base, BaseTag,
+// Stats) take only a read lock, so they never queue behind each other —
+// only behind Observe's candidate bookkeeping.
 type Selector struct {
 	cfg Config
 
-	mu          sync.Mutex
+	mu          sync.RWMutex
 	rng         *rand.Rand
 	base        []byte
 	baseTag     string
@@ -372,18 +374,19 @@ func (s *Selector) maybeGroupRebase(now time.Time, ev *Event) {
 	ev.GroupRebase = true
 }
 
-// Base implements Strategy.
+// Base implements Strategy. The returned bytes are replaced, never
+// mutated, on rebase; callers must not modify them.
 func (s *Selector) Base() ([]byte, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.base, s.version
 }
 
 // BaseTag returns the tag that was attached (via ObserveTagged or
 // BasicRebase) to the document currently serving as the base-file.
 func (s *Selector) BaseTag() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.baseTag
 }
 
@@ -416,8 +419,8 @@ type Stats struct {
 
 // Stats returns a snapshot of the selector's counters.
 func (s *Selector) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	bytes := 0
 	for i := range s.candidates {
 		bytes += len(s.candidates[i].doc)

@@ -82,7 +82,7 @@ type Class struct {
 	Server string
 	Hint   string
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	members   int
 	matchBase []byte
 }
@@ -90,16 +90,16 @@ type Class struct {
 // Members returns the number of distinct URLs grouped into the class — its
 // popularity for probe ordering.
 func (c *Class) Members() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.members
 }
 
 // MatchBase returns the document probes are estimated against (the class's
 // current base-file).
 func (c *Class) MatchBase() []byte {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.matchBase
 }
 
@@ -141,11 +141,13 @@ type serverClasses struct {
 	byHint  map[string][]*Class
 }
 
-// Manager groups requests into classes. It is safe for concurrent use.
+// Manager groups requests into classes. It is safe for concurrent use:
+// already-grouped URLs (the steady-state hot path) resolve under a read
+// lock, so routing does not serialize concurrent requests.
 type Manager struct {
 	cfg Config
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	rng     *rand.Rand
 	servers map[string]*serverClasses
 	byURL   map[string]*Class
@@ -208,8 +210,16 @@ func (m *Manager) newClassLocked(id, server, hint string) *Class {
 // current document doc) to a class, creating one if necessary. A URL that
 // has been grouped before goes straight to its class.
 func (m *Manager) Group(url string, parts urlparts.Parts, doc []byte) Result {
-	m.mu.Lock()
+	// Fast path: a URL that has been grouped before goes straight to its
+	// class under the read lock only.
+	m.mu.RLock()
+	cl, known := m.byURL[url]
+	m.mu.RUnlock()
+	if known {
+		return Result{Class: cl, Known: true}
+	}
 
+	m.mu.Lock()
 	if cl, ok := m.byURL[url]; ok {
 		m.mu.Unlock()
 		return Result{Class: cl, Known: true}
@@ -272,12 +282,12 @@ func (m *Manager) Group(url string, parts urlparts.Parts, doc []byte) Result {
 
 	m.nextSeq++
 	id := fmt.Sprintf("%s/%s#%d", parts.Server, parts.Hint, m.nextSeq)
-	cl := m.newClassLocked(id, parts.Server, parts.Hint)
-	cl.SetMatchBase(doc)
-	cl.addMember()
-	m.byURL[url] = cl
+	created := m.newClassLocked(id, parts.Server, parts.Hint)
+	created.SetMatchBase(doc)
+	created.addMember()
+	m.byURL[url] = created
 	m.urlsGrouped++
-	return Result{Class: cl, Created: true, Probes: probes}
+	return Result{Class: created, Created: true, Probes: probes}
 }
 
 // isMatch applies the matching threshold(s).
@@ -337,24 +347,24 @@ func (m *Manager) candidatesLocked(parts urlparts.Parts) []*Class {
 
 // ClassFor returns the class previously assigned to url, if any.
 func (m *Manager) ClassFor(url string) (*Class, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	cl, ok := m.byURL[url]
 	return cl, ok
 }
 
 // ClassByID returns the class with the given ID, if it exists.
 func (m *Manager) ClassByID(id string) (*Class, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	cl, ok := m.byID[id]
 	return cl, ok
 }
 
 // Classes returns a snapshot of all classes.
 func (m *Manager) Classes() []*Class {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	out := make([]*Class, 0, len(m.byID))
 	for _, cl := range m.byID {
 		out = append(out, cl)
@@ -374,8 +384,8 @@ type Stats struct {
 
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	s := Stats{
 		Classes:       len(m.byID),
 		URLs:          len(m.byURL),
@@ -408,8 +418,8 @@ type Exported struct {
 
 // Export returns a snapshot of the manager's state for persistence.
 func (m *Manager) Export() Exported {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	ex := Exported{
 		URLs:    make(map[string]string, len(m.byURL)),
 		NextSeq: m.nextSeq,
@@ -421,7 +431,7 @@ func (m *Manager) Export() Exported {
 	sort.Strings(ids)
 	for _, id := range ids {
 		cl := m.byID[id]
-		cl.mu.Lock()
+		cl.mu.RLock()
 		ex.Classes = append(ex.Classes, ExportedClass{
 			ID:        cl.ID,
 			Server:    cl.Server,
@@ -429,7 +439,7 @@ func (m *Manager) Export() Exported {
 			Members:   cl.members,
 			MatchBase: append([]byte(nil), cl.matchBase...),
 		})
-		cl.mu.Unlock()
+		cl.mu.RUnlock()
 	}
 	for url, cl := range m.byURL {
 		ex.URLs[url] = cl.ID

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"cbde/internal/anonymize"
+)
+
+// heldBase is the client-side cache entry a stress goroutine keeps per
+// class: the base bytes it downloaded and their version.
+type heldBase struct {
+	version int
+	base    []byte
+}
+
+// stressClient simulates one delta-capable client: it remembers the bases
+// it holds, advertises them on every request, decodes every delta response
+// and checks the reconstruction, and verifies the engine's version
+// invariants from its (sequential) point of view.
+type stressClient struct {
+	t      *testing.T
+	e      *Engine
+	user   string
+	held   map[string]heldBase
+	latest map[string]int // newest LatestVersion observed per class
+}
+
+func newStressClient(t *testing.T, e *Engine, user string) *stressClient {
+	return &stressClient{
+		t:      t,
+		e:      e,
+		user:   user,
+		held:   make(map[string]heldBase),
+		latest: make(map[string]int),
+	}
+}
+
+// request runs doc through Engine.Process advertising every held base, then
+// checks the response invariants:
+//
+//   - a delta response names a base the client advertised, and applying the
+//     delta to that base reproduces doc byte-for-byte;
+//   - LatestVersion never goes backwards from this client's point of view
+//     (its calls to one class are sequential, and distVersion is monotone);
+//   - a base fetched after the response is at least as new as the version
+//     the response announced.
+func (c *stressClient) request(url string, doc []byte, format Format) {
+	req := Request{URL: url, UserID: c.user, Doc: doc, Format: format}
+	for id, hb := range c.held {
+		req.Held = append(req.Held, HeldBase{ClassID: id, Version: hb.version})
+	}
+	resp, err := c.e.Process(req)
+	if err != nil {
+		c.t.Errorf("Process(%s): %v", url, err)
+		return
+	}
+	if resp.ClassID == "" {
+		c.t.Errorf("Process(%s): empty ClassID", url)
+		return
+	}
+	if resp.LatestVersion < c.latest[resp.ClassID] {
+		c.t.Errorf("class %s: LatestVersion went backwards: %d after %d",
+			resp.ClassID, resp.LatestVersion, c.latest[resp.ClassID])
+	}
+	c.latest[resp.ClassID] = resp.LatestVersion
+
+	if resp.Kind == KindDelta {
+		hb, ok := c.held[resp.ClassID]
+		if !ok || hb.version != resp.BaseVersion {
+			c.t.Errorf("class %s: delta against version %d, client holds %+v",
+				resp.ClassID, resp.BaseVersion, hb)
+			return
+		}
+		got, err := c.e.DecodeAs(hb.base, resp.Payload, resp.Gzipped, resp.Format)
+		if err != nil {
+			c.t.Errorf("class %s: decode delta (v%d, %s): %v",
+				resp.ClassID, resp.BaseVersion, resp.Format, err)
+			return
+		}
+		if !bytes.Equal(got, doc) {
+			c.t.Errorf("class %s: round trip mismatch: got %d bytes, want %d",
+				resp.ClassID, len(got), len(doc))
+		}
+	}
+
+	// Refresh the held base when the server announced a newer one.
+	if hb := c.held[resp.ClassID]; resp.LatestVersion > hb.version {
+		base, v, ok := c.e.LatestBase(resp.ClassID)
+		if !ok {
+			// The class can transiently have no distributable base only
+			// before its first version; after an announcement it must.
+			c.t.Errorf("class %s: LatestBase missing after LatestVersion=%d",
+				resp.ClassID, resp.LatestVersion)
+			return
+		}
+		if v < resp.LatestVersion {
+			c.t.Errorf("class %s: LatestBase version %d older than announced %d",
+				resp.ClassID, v, resp.LatestVersion)
+		}
+		c.held[resp.ClassID] = heldBase{version: v, base: base}
+	}
+}
+
+// TestConcurrentProcessStress drives the full pipeline — grouping, selector
+// observation, anonymization, snapshot encode, rebases — from many
+// goroutines across several classes, with concurrent readers (Stats,
+// BaseFile, SaveState) mixed in. Run under `go test -race`; it is the
+// repo's evidence for the engine's "safe for concurrent use" claim.
+func TestConcurrentProcessStress(t *testing.T) {
+	const (
+		goroutines = 8
+		classes    = 4
+		requests   = 250
+	)
+	e := newTestEngine(t, Config{
+		Anon: anonymize.Config{M: 1, N: 2},
+		Now:  time.Now, // the deterministic test clock is not needed here
+	})
+
+	depts := make([]string, classes)
+	for c := range depts {
+		depts[c] = fmt.Sprintf("dept%d", c)
+	}
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		// Concurrent observer: engine-wide snapshots and base fetches must
+		// never race with serving. Runs until the writers finish.
+		defer readers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			st := e.Stats()
+			if st.BytesDelta+st.BytesFull > st.BytesDirect {
+				t.Errorf("sent more bytes than direct: %+v", st)
+				return
+			}
+			if _, ok := e.GroupingStats(); !ok {
+				t.Error("GroupingStats unavailable in class-based mode")
+				return
+			}
+			if i%3 == 0 {
+				if err := e.SaveState(io.Discard); err != nil {
+					t.Errorf("SaveState: %v", err)
+					return
+				}
+			}
+			_ = e.Metrics().Snapshot()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := newStressClient(t, e, fmt.Sprintf("user-%d", g))
+			for i := 0; i < requests; i++ {
+				c := (g + i) % classes
+				item := i % 3
+				url := fmt.Sprintf("www.shop.com/%s/%d", depts[c], item)
+				doc := renderDoc(depts[c], item, i, cl.user)
+				format := FormatVdelta
+				if i%4 == 3 {
+					format = FormatVCDIFF
+				}
+				cl.request(url, doc, format)
+				if i%7 == 0 {
+					// Random-ish base fetches, including versions that may
+					// have been pruned: must return cleanly either way.
+					for id, hb := range cl.held {
+						if base, ok := e.BaseFile(id, hb.version); ok && len(base) == 0 {
+							t.Errorf("class %s: BaseFile(v%d) returned empty base", id, hb.version)
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	st := e.Stats()
+	if want := int64(goroutines * requests); st.Requests != want {
+		t.Errorf("requests = %d, want %d", st.Requests, want)
+	}
+	if st.DeltaResponses == 0 {
+		t.Error("stress run produced no delta responses; delta path not exercised")
+	}
+	if st.DeltaResponses+st.FullResponses != st.Requests {
+		t.Errorf("responses (%d delta + %d full) do not add up to %d requests",
+			st.DeltaResponses, st.FullResponses, st.Requests)
+	}
+}
+
+// TestConcurrentBasicRebaseStress hammers the oversized-delta path: every
+// goroutine alternates between two unrelated incompressible documents on
+// the same URLs, so nearly every delta trips MaxDeltaRatio and requests
+// race to basic-rebase the class. The encode-then-revalidate split must
+// keep exactly one rebase per drift and every delta decodable.
+func TestConcurrentBasicRebaseStress(t *testing.T) {
+	const (
+		goroutines = 8
+		requests   = 200
+	)
+	e := newTestEngine(t, Config{
+		Mode: ModeClassless, // rebases distribute immediately: worst case
+		Now:  time.Now,
+	})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl := newStressClient(t, e, fmt.Sprintf("user-%d", g))
+			for i := 0; i < requests; i++ {
+				url := fmt.Sprintf("www.churn.com/page/%d", i%2)
+				// Two document families far apart, alternating per visit to
+				// each URL, plus a small personal twist so goroutines do not
+				// all submit identical bytes.
+				family := uint64(i/2) % 2
+				doc := append(incompressible(3+family*17, 4096),
+					[]byte(fmt.Sprintf("<user %s seq %d>", cl.user, i))...)
+				cl.request(url, doc, FormatVdelta)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := e.Stats()
+	if want := int64(goroutines * requests); st.Requests != want {
+		t.Errorf("requests = %d, want %d", st.Requests, want)
+	}
+	if st.BasicRebases == 0 {
+		t.Error("rebase stress produced no basic-rebases; oversized path not exercised")
+	}
+}
+
+// TestConcurrentStateCreation races many goroutines on first contact with
+// the same classes: the sharded table must hand every goroutine the same
+// classState per key, never two.
+func TestConcurrentStateCreation(t *testing.T) {
+	e := newTestEngine(t, Config{Mode: ModeClassless, Now: time.Now})
+	const goroutines = 16
+	var wg sync.WaitGroup
+	states := make([]*classState, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			states[g] = e.state("url:www.same.com/page", nil)
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if states[g] != states[0] {
+			t.Fatalf("goroutine %d got a different classState for the same key", g)
+		}
+	}
+	if n := len(e.states()); n != 1 {
+		t.Fatalf("engine holds %d classStates, want 1", n)
+	}
+}

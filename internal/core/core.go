@@ -248,9 +248,33 @@ func (r Response) WireSize(docLen int) int {
 // ErrNoDocument is returned by Process for requests without a document.
 var ErrNoDocument = errors.New("core: request has no document snapshot")
 
+// baseVersion is one distributable base-file version. The bytes are
+// immutable once installed, so readers may hold a reference across lock
+// boundaries; the vdelta codec index is built lazily — at most once, via
+// once — by the first vdelta encode against this version, outside any
+// class lock.
+type baseVersion struct {
+	bytes []byte
+	once  sync.Once
+	index *vdelta.Index
+}
+
+// vdeltaIndex returns the version's codec index, building it on first use.
+// Safe to call concurrently and without holding any class lock.
+func (bv *baseVersion) vdeltaIndex(coder *vdelta.Coder) *vdelta.Index {
+	bv.once.Do(func() { bv.index = coder.NewIndex(bv.bytes) })
+	return bv.index
+}
+
 // classState is the engine's per-class serving state.
+//
+// Lock hierarchy (see DESIGN.md, "Concurrency model"): shard map lock →
+// classState.mu → selector/class locks. Shard locks guard only the class
+// table itself and are never held while taking cs.mu. The expensive vdelta
+// encode runs with no class lock held at all, against an immutable
+// baseVersion snapshot.
 type classState struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	class    *classify.Class // nil in classless modes
 	id       string
@@ -258,9 +282,8 @@ type classState struct {
 
 	// Distributable (anonymized, for class-based mode) base-file versions.
 	// bases[v] exists for the KeepBaseVersions most recent versions.
-	bases       map[int][]byte
-	indexes     map[int]*vdelta.Index // lazily built codec indexes per version
-	distVersion int                   // newest distributable version; 0 = none yet
+	bases       map[int]*baseVersion
+	distVersion int // newest distributable version; 0 = none yet
 
 	// anonProc anonymizes the selector's base at selectorVersion
 	// anonSource; nil when idle or anonymization is disabled.
@@ -268,27 +291,86 @@ type classState struct {
 	anonSource int
 }
 
+// classShardCount sizes the engine's sharded class table. A power of two so
+// the shard pick is a mask; 64 shards keep cross-class contention negligible
+// well past the goroutine counts a delta-server front runs.
+const classShardCount = 64
+
+// classShard is one slot of the sharded class table.
+type classShard struct {
+	mu      sync.RWMutex
+	classes map[string]*classState // by class/document key
+}
+
+// shardOf maps a class key to its shard index (FNV-1a).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (classShardCount - 1)
+}
+
+// hotCounters are the engine's per-request counters, resolved once at
+// construction so the request path never takes the registry's name-lookup
+// lock.
+type hotCounters struct {
+	requests       *metrics.Counter
+	bytesDirect    *metrics.Counter
+	responsesDelta *metrics.Counter
+	bytesDelta     *metrics.Counter
+	responsesFull  *metrics.Counter
+	bytesFull      *metrics.Counter
+	classesCreated *metrics.Counter
+	classifyProbes *metrics.Counter
+	rebaseGroup    *metrics.Counter
+	rebaseBasic    *metrics.Counter
+	anonStarted    *metrics.Counter
+	anonCompleted  *metrics.Counter
+	basesInstalled *metrics.Counter
+}
+
 // Engine implements class-based delta-encoding. Create one with NewEngine;
-// it is safe for concurrent use.
+// it is safe for concurrent use: requests to different classes proceed in
+// parallel, and requests to the same class serialize only for bookkeeping,
+// not for the delta encode itself.
 type Engine struct {
 	cfg      Config
 	coder    *vdelta.Coder
 	classify *classify.Manager
 
-	mu      sync.Mutex
-	classes map[string]*classState // by class/document key
+	shards [classShardCount]classShard
 
 	reg *metrics.Registry
+	ctr hotCounters
 }
 
 // NewEngine returns an Engine configured by cfg.
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:     cfg,
-		coder:   vdelta.NewCoder(cfg.Codec...),
-		classes: make(map[string]*classState),
-		reg:     metrics.NewRegistry(),
+		cfg:   cfg,
+		coder: vdelta.NewCoder(cfg.Codec...),
+		reg:   metrics.NewRegistry(),
+	}
+	for i := range e.shards {
+		e.shards[i].classes = make(map[string]*classState)
+	}
+	e.ctr = hotCounters{
+		requests:       e.reg.Counter("requests"),
+		bytesDirect:    e.reg.Counter("bytes.direct"),
+		responsesDelta: e.reg.Counter("responses.delta"),
+		bytesDelta:     e.reg.Counter("bytes.delta"),
+		responsesFull:  e.reg.Counter("responses.full"),
+		bytesFull:      e.reg.Counter("bytes.full"),
+		classesCreated: e.reg.Counter("classes.created"),
+		classifyProbes: e.reg.Counter("classify.probes"),
+		rebaseGroup:    e.reg.Counter("rebase.group"),
+		rebaseBasic:    e.reg.Counter("rebase.basic"),
+		anonStarted:    e.reg.Counter("anon.started"),
+		anonCompleted:  e.reg.Counter("anon.completed"),
+		basesInstalled: e.reg.Counter("bases.installed"),
 	}
 	if cfg.Mode == ModeClassBased {
 		e.classify = classify.NewManager(cfg.Classify)
@@ -299,58 +381,97 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Metrics exposes the engine's metrics registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
-// state returns (creating if needed) the classState for key.
+// state returns (creating if needed) the classState for key. The fast path
+// is a shard read lock; creation re-checks under the write lock.
 func (e *Engine) state(key string, class *classify.Class) *classState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	cs, ok := e.classes[key]
-	if !ok {
-		cs = &classState{
-			id:       key,
-			class:    class,
-			selector: basefile.NewSelector(e.cfg.Selector),
-			bases:    make(map[int][]byte),
-			indexes:  make(map[int]*vdelta.Index),
-		}
-		e.classes[key] = cs
+	sh := &e.shards[shardOf(key)]
+	sh.mu.RLock()
+	cs := sh.classes[key]
+	sh.mu.RUnlock()
+	if cs != nil {
+		return cs
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if cs, ok := sh.classes[key]; ok {
+		return cs
+	}
+	cs = &classState{
+		id:       key,
+		class:    class,
+		selector: basefile.NewSelector(e.cfg.Selector),
+		bases:    make(map[int]*baseVersion),
+	}
+	sh.classes[key] = cs
 	return cs
 }
 
+// lookup returns the classState for key, if it exists, touching only the
+// shard's read lock.
+func (e *Engine) lookup(key string) (*classState, bool) {
+	sh := &e.shards[shardOf(key)]
+	sh.mu.RLock()
+	cs, ok := sh.classes[key]
+	sh.mu.RUnlock()
+	return cs, ok
+}
+
+// states snapshots every classState across all shards.
+func (e *Engine) states() []*classState {
+	var out []*classState
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.RLock()
+		for _, cs := range sh.classes {
+			out = append(out, cs)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
 // Process runs one request through the pipeline and decides what to send.
+//
+// The pipeline is split into a short mutation phase under the class write
+// lock (selector observation, anonymization advance, base-file snapshot)
+// and an unlocked encode phase. Concurrent requests to the same class
+// therefore overlap on the expensive part — the 6-8 ms/delta encode that
+// bounds the capacity experiment of Section VI-C.
 func (e *Engine) Process(req Request) (Response, error) {
 	if req.Doc == nil {
 		return Response{}, ErrNoDocument
 	}
 	now := e.cfg.Now()
-	e.reg.Counter("requests").Inc()
-	e.reg.Counter("bytes.direct").Add(int64(len(req.Doc)))
 
 	cs, err := e.route(req)
 	if err != nil {
 		return Response{}, err
 	}
+	// Accounting happens only after routing succeeds: an unroutable request
+	// produces no response and must not inflate the capacity counters.
+	e.ctr.requests.Inc()
+	e.ctr.bytesDirect.Add(int64(len(req.Doc)))
 
+	// Mutation phase: feed the document to the selector (Section IV), drive
+	// the anonymization pipeline (Section V), and snapshot what the encode
+	// needs.
 	cs.mu.Lock()
-	defer cs.mu.Unlock()
-
-	// Feed the document to the selector (Section IV) and drive the
-	// anonymization pipeline (Section V).
 	ev := cs.selector.ObserveTagged(req.Doc, req.UserID, now)
 	if ev.GroupRebase {
-		e.reg.Counter("rebase.group").Inc()
+		e.ctr.rebaseGroup.Inc()
 	}
 	e.advanceAnonymization(cs, req, now)
+	snap := cs.snapshotLocked(req)
+	cs.mu.Unlock()
 
-	resp := e.respond(cs, req, now)
+	resp := e.respond(cs, snap, req, now)
 	resp.ClassID = cs.id
-	resp.LatestVersion = cs.distVersion
 	if resp.Kind == KindDelta {
-		e.reg.Counter("responses.delta").Inc()
-		e.reg.Counter("bytes.delta").Add(int64(len(resp.Payload)))
+		e.ctr.responsesDelta.Inc()
+		e.ctr.bytesDelta.Add(int64(len(resp.Payload)))
 	} else {
-		e.reg.Counter("responses.full").Inc()
-		e.reg.Counter("bytes.full").Add(int64(len(req.Doc)))
+		e.ctr.responsesFull.Inc()
+		e.ctr.bytesFull.Add(int64(len(req.Doc)))
 	}
 	return resp, nil
 }
@@ -369,9 +490,9 @@ func (e *Engine) route(req Request) (*classState, error) {
 		}
 		res := e.classify.Group(req.URL, parts, req.Doc)
 		if res.Created {
-			e.reg.Counter("classes.created").Inc()
+			e.ctr.classesCreated.Inc()
 		}
-		e.reg.Counter("classify.probes").Add(int64(res.Probes))
+		e.ctr.classifyProbes.Add(int64(res.Probes))
 		return e.state(res.Class.ID, res.Class), nil
 	}
 }
@@ -400,7 +521,7 @@ func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time
 	if version > cs.anonSource && version > cs.distVersion {
 		cs.anonProc = anonymize.NewProcess(base, cs.selector.BaseTag(), e.cfg.Anon)
 		cs.anonSource = version
-		e.reg.Counter("anon.started").Inc()
+		e.ctr.anonStarted.Inc()
 	}
 	if cs.anonProc == nil {
 		return
@@ -417,14 +538,15 @@ func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time
 		return
 	}
 	cs.anonProc = nil
-	e.reg.Counter("anon.completed").Inc()
+	e.ctr.anonCompleted.Inc()
 	e.installBase(cs, cs.anonSource, anon)
 }
 
 // installBase records base as the class's distributable version v and
-// prunes old versions. Callers hold cs.mu.
+// prunes old versions. Callers hold cs.mu; base must not be mutated after
+// the call (it becomes the immutable payload of a baseVersion).
 func (e *Engine) installBase(cs *classState, v int, base []byte) {
-	cs.bases[v] = base
+	cs.bases[v] = &baseVersion{bytes: base}
 	cs.distVersion = v
 	if cs.class != nil {
 		cs.class.SetMatchBase(base)
@@ -432,31 +554,53 @@ func (e *Engine) installBase(cs *classState, v int, base []byte) {
 	for old := range cs.bases {
 		if old <= v-e.cfg.KeepBaseVersions {
 			delete(cs.bases, old)
-			delete(cs.indexes, old)
 		}
 	}
-	e.reg.Counter("bases.installed").Inc()
+	e.ctr.basesInstalled.Inc()
 }
 
-// respond chooses between a delta and a full response. Callers hold cs.mu.
-func (e *Engine) respond(cs *classState, req Request, now time.Time) Response {
+// encodeSnapshot captures, under the class lock, everything respond needs
+// so the delta encode can run unlocked.
+type encodeSnapshot struct {
+	distVersion   int          // distributable version at snapshot time
+	clientVersion int          // newest held version the server still stores
+	base          *baseVersion // base to encode against; nil → full response
+}
+
+// snapshotLocked picks the base-file version to delta against: the newest
+// version the client holds that the server still stores. Callers hold cs.mu.
+func (cs *classState) snapshotLocked(req Request) encodeSnapshot {
+	snap := encodeSnapshot{distVersion: cs.distVersion}
 	if cs.distVersion == 0 {
 		// No distributable base yet (anonymization in progress).
-		return Response{Kind: KindFull}
+		return snap
 	}
-
-	// Deltas are only useful against a base the client holds and the
-	// server still stores; prefer the newest such version.
-	clientVersion := 0
 	for _, v := range req.heldVersionsFor(cs.id) {
-		if _, ok := cs.bases[v]; ok && v > clientVersion {
-			clientVersion = v
+		if bv, ok := cs.bases[v]; ok && v > snap.clientVersion {
+			snap.clientVersion, snap.base = v, bv
 		}
 	}
-	if clientVersion == 0 {
-		return Response{Kind: KindFull}
+	return snap
+}
+
+// latestVersion reads the class's distributable version under a read lock.
+func (e *Engine) latestVersion(cs *classState) int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.distVersion
+}
+
+// respond chooses between a delta and a full response. It runs with no
+// class lock held: the snapshot's base bytes and codec index are immutable,
+// so concurrent requests to one class overlap on the encode. Before
+// answering, the class's distributable version is re-read under the lock
+// (encode-then-revalidate) so clients learn about rebases that landed while
+// we were encoding; the delta itself stays valid regardless, because it was
+// computed against bytes the client holds.
+func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now time.Time) Response {
+	if snap.base == nil {
+		return Response{Kind: KindFull, LatestVersion: snap.distVersion}
 	}
-	base := cs.bases[clientVersion]
 
 	format := req.Format
 	if format == 0 {
@@ -465,35 +609,17 @@ func (e *Engine) respond(cs *classState, req Request, now time.Time) Response {
 	var delta []byte
 	var err error
 	if format == FormatVCDIFF {
-		delta, err = vcdiff.Encode(base, req.Doc)
+		delta, err = vcdiff.Encode(snap.base.bytes, req.Doc)
 	} else {
 		// The base-file changes only on rebases, so its codec index is
 		// built once per version and reused across requests.
-		ix := cs.indexes[clientVersion]
-		if ix == nil {
-			ix = e.coder.NewIndex(base)
-			cs.indexes[clientVersion] = ix
-		}
-		delta, err = e.coder.EncodeIndexed(ix, req.Doc)
+		delta, err = e.coder.EncodeIndexed(snap.base.vdeltaIndex(e.coder), req.Doc)
 	}
 	if err != nil {
-		return Response{Kind: KindFull}
+		return Response{Kind: KindFull, LatestVersion: e.latestVersion(cs)}
 	}
 	if float64(len(delta)) > e.cfg.MaxDeltaRatio*float64(len(req.Doc)) {
-		// The base-file has drifted too far: basic-rebase on the current
-		// document (Section IV). The paper flushes the stored samples; the
-		// new base becomes distributable after anonymization (class-based)
-		// or immediately (baselines).
-		v := cs.selector.BasicRebase(req.Doc, req.UserID, now)
-		e.reg.Counter("rebase.basic").Inc()
-		if e.cfg.DisableAnonymization {
-			e.installBase(cs, v, append([]byte(nil), req.Doc...))
-		} else {
-			cs.anonProc = anonymize.NewProcess(req.Doc, req.UserID, e.cfg.Anon)
-			cs.anonSource = v
-			e.reg.Counter("anon.started").Inc()
-		}
-		return Response{Kind: KindFull, BasicRebase: true}
+		return e.basicRebase(cs, snap, req, now)
 	}
 
 	payload := delta
@@ -504,26 +630,46 @@ func (e *Engine) respond(cs *classState, req Request, now time.Time) Response {
 		}
 	}
 	return Response{
-		Kind:        KindDelta,
-		BaseVersion: clientVersion,
-		Payload:     payload,
-		Gzipped:     gzipped,
-		Format:      format,
+		Kind:          KindDelta,
+		BaseVersion:   snap.clientVersion,
+		LatestVersion: e.latestVersion(cs),
+		Payload:       payload,
+		Gzipped:       gzipped,
+		Format:        format,
 	}
 }
 
-// BaseFile returns the distributable base-file bytes for a class and
-// version. ok is false when the class or version is unknown (e.g. pruned).
-func (e *Engine) BaseFile(classID string, version int) ([]byte, bool) {
-	e.mu.Lock()
-	cs, exists := e.classes[classID]
-	e.mu.Unlock()
-	if !exists {
-		return nil, false
-	}
+// basicRebase handles an oversized delta: the base-file has drifted too far
+// from the class, so the current document becomes the new base (Section
+// IV). The paper flushes the stored samples; the new base becomes
+// distributable after anonymization (class-based) or immediately
+// (baselines). The oversized delta was computed outside the lock, so the
+// class is first re-validated under the write lock: if another request
+// already rebased past the snapshot, the evidence is stale and the request
+// is served full without a second rebase.
+func (e *Engine) basicRebase(cs *classState, snap encodeSnapshot, req Request, now time.Time) Response {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	base, ok := cs.bases[version]
+	if cs.distVersion != snap.distVersion {
+		return Response{Kind: KindFull, LatestVersion: cs.distVersion}
+	}
+	v := cs.selector.BasicRebase(req.Doc, req.UserID, now)
+	e.ctr.rebaseBasic.Inc()
+	if e.cfg.DisableAnonymization {
+		e.installBase(cs, v, append([]byte(nil), req.Doc...))
+	} else {
+		cs.anonProc = anonymize.NewProcess(req.Doc, req.UserID, e.cfg.Anon)
+		cs.anonSource = v
+		e.ctr.anonStarted.Inc()
+	}
+	return Response{Kind: KindFull, BasicRebase: true, LatestVersion: cs.distVersion}
+}
+
+// BaseFile returns a copy of the distributable base-file bytes for a class
+// and version. ok is false when the class or version is unknown (e.g.
+// pruned).
+func (e *Engine) BaseFile(classID string, version int) ([]byte, bool) {
+	base, ok := e.BaseFileView(classID, version)
 	if !ok {
 		return nil, false
 	}
@@ -532,24 +678,43 @@ func (e *Engine) BaseFile(classID string, version int) ([]byte, bool) {
 	return out, true
 }
 
-// LatestBase returns the newest distributable base-file for a class and its
-// version. ok is false when the class has no distributable base yet.
+// BaseFileView is BaseFile without the defensive copy: the returned bytes
+// are an immutable installed base version and must not be modified. The
+// delta-server's base-distribution endpoint uses this so that serving a
+// base-file touches only two read locks and allocates nothing.
+func (e *Engine) BaseFileView(classID string, version int) ([]byte, bool) {
+	cs, exists := e.lookup(classID)
+	if !exists {
+		return nil, false
+	}
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	bv, ok := cs.bases[version]
+	if !ok {
+		return nil, false
+	}
+	return bv.bytes, true
+}
+
+// LatestBase returns a copy of the newest distributable base-file for a
+// class and its version. ok is false when the class has no distributable
+// base yet.
 func (e *Engine) LatestBase(classID string) ([]byte, int, bool) {
-	e.mu.Lock()
-	cs, exists := e.classes[classID]
-	e.mu.Unlock()
+	cs, exists := e.lookup(classID)
 	if !exists {
 		return nil, 0, false
 	}
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
+	cs.mu.RLock()
 	if cs.distVersion == 0 {
+		cs.mu.RUnlock()
 		return nil, 0, false
 	}
-	base := cs.bases[cs.distVersion]
-	out := make([]byte, len(base))
-	copy(out, base)
-	return out, cs.distVersion, true
+	bv := cs.bases[cs.distVersion]
+	version := cs.distVersion
+	cs.mu.RUnlock()
+	out := make([]byte, len(bv.bytes))
+	copy(out, bv.bytes)
+	return out, version, true
 }
 
 // Stats is a snapshot of the engine's behaviour, the raw material for the
@@ -589,37 +754,32 @@ func (s Stats) Savings() float64 {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	states := make([]*classState, 0, len(e.classes))
-	for _, cs := range e.classes {
-		states = append(states, cs)
-	}
-	e.mu.Unlock()
+	states := e.states()
 
 	var storage int64
 	for _, cs := range states {
-		cs.mu.Lock()
-		for _, b := range cs.bases {
-			storage += int64(len(b))
+		cs.mu.RLock()
+		for _, bv := range cs.bases {
+			storage += int64(len(bv.bytes))
 		}
+		cs.mu.RUnlock()
 		sel := cs.selector.Stats()
 		storage += int64(sel.StoredBytes)
-		cs.mu.Unlock()
 	}
 
 	return Stats{
 		Mode:           e.cfg.Mode,
-		Requests:       e.reg.Counter("requests").Value(),
-		FullResponses:  e.reg.Counter("responses.full").Value(),
-		DeltaResponses: e.reg.Counter("responses.delta").Value(),
-		BytesDirect:    e.reg.Counter("bytes.direct").Value(),
-		BytesDelta:     e.reg.Counter("bytes.delta").Value(),
-		BytesFull:      e.reg.Counter("bytes.full").Value(),
+		Requests:       e.ctr.requests.Value(),
+		FullResponses:  e.ctr.responsesFull.Value(),
+		DeltaResponses: e.ctr.responsesDelta.Value(),
+		BytesDirect:    e.ctr.bytesDirect.Value(),
+		BytesDelta:     e.ctr.bytesDelta.Value(),
+		BytesFull:      e.ctr.bytesFull.Value(),
 		Classes:        len(states),
-		GroupRebases:   e.reg.Counter("rebase.group").Value(),
-		BasicRebases:   e.reg.Counter("rebase.basic").Value(),
-		AnonStarted:    e.reg.Counter("anon.started").Value(),
-		AnonCompleted:  e.reg.Counter("anon.completed").Value(),
+		GroupRebases:   e.ctr.rebaseGroup.Value(),
+		BasicRebases:   e.ctr.rebaseBasic.Value(),
+		AnonStarted:    e.ctr.anonStarted.Value(),
+		AnonCompleted:  e.ctr.anonCompleted.Value(),
 		StorageBytes:   storage,
 	}
 }

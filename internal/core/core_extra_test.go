@@ -231,3 +231,29 @@ func TestAnonymizationRestartsOnMidFlightRebase(t *testing.T) {
 		t.Error("distributed base still derives from the outlier")
 	}
 }
+
+// TestRouteErrorSkipsAccounting is the regression test for a seed-era
+// ordering hazard: the requests/bytes.direct counters were bumped before
+// routing could fail, so unroutable requests inflated the capacity
+// numbers. Accounting must only happen for requests that get a response.
+func TestRouteErrorSkipsAccounting(t *testing.T) {
+	e := newTestEngine(t, Config{})
+	if _, err := e.Process(Request{URL: "://bad", UserID: "u", Doc: []byte("doc")}); err == nil {
+		t.Fatal("expected partition error for unroutable URL")
+	}
+	st := e.Stats()
+	if st.Requests != 0 || st.BytesDirect != 0 {
+		t.Fatalf("unroutable request was accounted: requests=%d bytesDirect=%d",
+			st.Requests, st.BytesDirect)
+	}
+	if _, err := e.Process(Request{
+		URL: "www.shop.com/laptops/1", UserID: "u",
+		Doc: renderDoc("laptops", 1, 0, "u"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.Requests != 1 {
+		t.Fatalf("requests = %d after one routable request, want 1", st.Requests)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cbde/internal/gzipx"
+	"cbde/internal/vcdiff"
+	"cbde/internal/vdelta"
+)
+
+// FuzzEngineDecode hardens the client-facing decode path — gzip unwrap plus
+// either wire format — against arbitrary response payloads: it must return
+// an error or a document, never panic, whatever bytes a hostile or corrupt
+// delta-server hands a client. Seeds cover valid payloads of both formats,
+// gzipped and plain, plus truncations.
+func FuzzEngineDecode(f *testing.F) {
+	e, err := NewEngine(Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := []byte("the quick brown fox jumps over the lazy dog; the quick brown fox again")
+	target := []byte("the quick brown fox vaults over the lazy dog; and the fox once more")
+	vd, err := vdelta.Encode(base, target)
+	if err != nil {
+		f.Fatal(err)
+	}
+	vc, err := vcdiff.Encode(base, target)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base, vd, false, false)
+	f.Add(base, gzipx.Compress(vd), true, false)
+	f.Add(base, vc, false, true)
+	f.Add(base, gzipx.Compress(vc), true, true)
+	f.Add([]byte{}, []byte{}, false, false)
+	f.Add(base, vd[:len(vd)/2], false, false)
+	f.Add(base, vc[:len(vc)/2], false, true)
+	f.Add(base, gzipx.Compress(vd), false, false) // gzip bytes decoded as raw delta
+
+	f.Fuzz(func(t *testing.T, base, payload []byte, gzipped, useVCDIFF bool) {
+		format := FormatVdelta
+		if useVCDIFF {
+			format = FormatVCDIFF
+		}
+		doc, err := e.DecodeAs(base, payload, gzipped, format)
+		if err != nil && doc != nil {
+			t.Fatalf("DecodeAs returned both a document (%d bytes) and error %v", len(doc), err)
+		}
+	})
+}
+
+// FuzzEngineProcessRoundTrip feeds arbitrary documents and URLs through the
+// full pipeline in classless mode (every URL delta-serves from its second
+// request) and checks the fundamental serving property: whatever Process
+// sends as a delta must reconstruct the document exactly.
+func FuzzEngineProcessRoundTrip(f *testing.F) {
+	f.Add("www.fuzz.com/a", []byte("first version of the document"), []byte("second version of the document"))
+	f.Add("www.fuzz.com/a?q=1", []byte{}, []byte("grew from empty"))
+	f.Add("www.fuzz.com/b", bytes.Repeat([]byte("na"), 300), bytes.Repeat([]byte("na"), 301))
+
+	f.Fuzz(func(t *testing.T, url string, doc1, doc2 []byte) {
+		if len(doc1) == 0 || len(doc2) == 0 {
+			t.Skip("Process treats empty documents as absent")
+		}
+		e, err := NewEngine(Config{Mode: ModeClassless})
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := e.Process(Request{URL: url, UserID: "u", Doc: doc1})
+		if err != nil {
+			t.Skip("unroutable URL") // partition errors are fine; nothing to check
+		}
+		if first.LatestVersion == 0 {
+			t.Fatalf("classless mode did not distribute a base on first contact")
+		}
+		base, v, ok := e.LatestBase(first.ClassID)
+		if !ok {
+			t.Fatalf("LatestBase missing after LatestVersion=%d", first.LatestVersion)
+		}
+		resp, err := e.Process(Request{
+			URL: url, UserID: "u", Doc: doc2,
+			HaveClassID: first.ClassID, HaveVersion: v,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Kind != KindDelta {
+			return // oversized delta → full response; nothing to decode
+		}
+		got, err := e.DecodeAs(base, resp.Payload, resp.Gzipped, resp.Format)
+		if err != nil {
+			t.Fatalf("decode served delta: %v", err)
+		}
+		if !bytes.Equal(got, doc2) {
+			t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(doc2))
+		}
+	})
+}

@@ -47,32 +47,26 @@ func (e *Engine) SaveState(w io.Writer) error {
 		st.Grouping = &ex
 	}
 
-	e.mu.Lock()
-	keys := make([]string, 0, len(e.classes))
-	states := make(map[string]*classState, len(e.classes))
-	for k, cs := range e.classes {
-		keys = append(keys, k)
-		states[k] = cs
-	}
-	e.mu.Unlock()
-	sort.Strings(keys) // deterministic output for identical state
+	states := e.states()
+	sort.Slice(states, func(i, j int) bool { // deterministic output for identical state
+		return states[i].id < states[j].id
+	})
 
-	for _, k := range keys {
-		cs := states[k]
-		cs.mu.Lock()
+	for _, cs := range states {
+		cs.mu.RLock()
 		scs := savedClassState{
 			ID:          cs.id,
 			Bases:       make(map[int][]byte, len(cs.bases)),
 			DistVersion: cs.distVersion,
 		}
-		for v, b := range cs.bases {
-			scs.Bases[v] = append([]byte(nil), b...)
+		for v, bv := range cs.bases {
+			scs.Bases[v] = append([]byte(nil), bv.bytes...)
 		}
 		base, version := cs.selector.Base()
 		scs.SelectorBase = base
 		scs.SelectorVer = version
 		scs.SelectorTag = cs.selector.BaseTag()
-		cs.mu.Unlock()
+		cs.mu.RUnlock()
 		st.Classes = append(st.Classes, scs)
 	}
 
@@ -98,10 +92,7 @@ func (e *Engine) LoadState(r io.Reader) error {
 		return fmt.Errorf("core: load state: saved mode %v does not match engine mode %v", st.Mode, e.cfg.Mode)
 	}
 
-	e.mu.Lock()
-	nonEmpty := len(e.classes) != 0
-	e.mu.Unlock()
-	if nonEmpty {
+	if len(e.states()) != 0 {
 		return fmt.Errorf("core: load state into an engine that already served traffic")
 	}
 
@@ -134,7 +125,7 @@ func (e *Engine) LoadState(r io.Reader) error {
 				cs.mu.Unlock()
 				return fmt.Errorf("core: load state: class %q has invalid base version %d", scs.ID, v)
 			}
-			cs.bases[v] = append([]byte(nil), b...)
+			cs.bases[v] = &baseVersion{bytes: append([]byte(nil), b...)}
 		}
 		cs.distVersion = scs.DistVersion
 		if _, ok := cs.bases[cs.distVersion]; cs.distVersion != 0 && !ok {

@@ -133,14 +133,17 @@ func (s *Server) proxyRaw(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.Copy(w, resp.Body)
 }
 
-// serveBase serves a class base-file as a cachable object.
+// serveBase serves a class base-file as a cachable object. Base versions
+// are immutable once installed, so the engine's view accessor hands out the
+// stored bytes directly — no per-request copy, and only read locks on the
+// engine's sharded class table.
 func (s *Server) serveBase(w http.ResponseWriter, r *http.Request) {
 	classID, version, err := deltahttp.ParseBasePath(r.URL.Path)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	base, ok := s.engine.BaseFile(classID, version)
+	base, ok := s.engine.BaseFileView(classID, version)
 	if !ok {
 		http.Error(w, "base-file not available", http.StatusNotFound)
 		return

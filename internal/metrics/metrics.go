@@ -189,8 +189,10 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 }
 
 // Registry is a named collection of metrics. Create one with NewRegistry.
+// Lookups of existing metrics (the overwhelmingly common case on a serving
+// hot path) take only a read lock; creation re-checks under the write lock.
 type Registry struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -207,46 +209,64 @@ func NewRegistry() *Registry {
 
 // Counter returns the counter with the given name, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
-	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+	if c, ok := r.counters[name]; ok {
+		return c
 	}
+	c = &Counter{}
+	r.counters[name] = c
 	return c
 }
 
 // Gauge returns the gauge with the given name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+	if g, ok := r.gauges[name]; ok {
+		return g
 	}
+	g = &Gauge{}
+	r.gauges[name] = g
 	return g
 }
 
 // Histogram returns the histogram with the given name, creating it with the
 // provided bounds on first use. Bounds are ignored for an existing histogram.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
-	if !ok {
-		h = NewHistogram(bounds...)
-		r.histograms[name] = h
+	if h, ok := r.histograms[name]; ok {
+		return h
 	}
+	h = NewHistogram(bounds...)
+	r.histograms[name] = h
 	return h
 }
 
 // Snapshot returns a sorted, human-readable dump of every metric, suitable
 // for a stats endpoint or log line.
 func (r *Registry) Snapshot() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var lines []string
 	for name, c := range r.counters {
 		lines = append(lines, fmt.Sprintf("counter %s %d", name, c.Value()))

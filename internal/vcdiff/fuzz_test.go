@@ -16,6 +16,18 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xD6, 0xC3, 0xC4, 0x00, 0x00})
 	f.Add(good[:7])
 	f.Add([]byte{})
+	// A delta whose window is dominated by an overlapping target self-copy
+	// (run-length expansion), plus truncations of it that cut a varint or an
+	// instruction mid-stream.
+	overlap, err := Encode(source, bytes.Repeat([]byte("na"), 64))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(overlap)
+	f.Add(overlap[:len(overlap)-1])
+	f.Add(overlap[:len(overlap)-3])
+	f.Add(good[:9])
+	f.Add(good[:len(good)-1])
 	f.Fuzz(func(t *testing.T, delta []byte) {
 		_, _ = Decode(source, delta)
 	})
@@ -26,6 +38,10 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("source"), []byte("target"))
 	f.Add([]byte{}, []byte("fresh"))
 	f.Add([]byte("gone"), []byte{})
+	// Repeat-heavy targets force overlapping self-copies through the
+	// encode/decode pair.
+	f.Add([]byte("na"), bytes.Repeat([]byte("na"), 200))
+	f.Add([]byte("x"), bytes.Repeat([]byte("x"), 500))
 	f.Fuzz(func(t *testing.T, source, target []byte) {
 		delta, err := Encode(source, target)
 		if err != nil {

@@ -17,6 +17,22 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("VD01"))
 	f.Add(good[:len(good)/2])
+
+	// Hand-built wire-format seeds (no checksum flag, single-byte length
+	// varints) targeting decoder edge cases the encoder never emits.
+	hdr := []byte{magic0, magic1, magic2, magic3, 0, byte(len(base))}
+	// COPY whose length varint never terminates (continuation bit set at
+	// end of input).
+	f.Add(append(append([]byte(nil), hdr...), 8, opCopy, 0x80))
+	// ADD whose length varint is all continuation bytes.
+	f.Add(append(append([]byte(nil), hdr...), 8, opAdd, 0xFF, 0xFF, 0xFF))
+	// Overlapping target self-copy: ADD one byte, then COPY 8 bytes from a
+	// target prefix holding only that byte — run-length behaviour that must
+	// reconstruct byte-by-byte, never over-read.
+	f.Add(append(append([]byte(nil), hdr...), 9, opAdd, 1, 'x', opCopy, byte(len(base)), 8, opEnd))
+	// Target self-copy starting at a not-yet-written offset: must error.
+	f.Add(append(append([]byte(nil), hdr...), 9, opAdd, 1, 'x', opCopy, byte(len(base) + 5), 4, opEnd))
+
 	f.Fuzz(func(t *testing.T, delta []byte) {
 		_, _ = Decode(base, delta)
 		_, _ = Stats(delta)
@@ -30,6 +46,9 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte{}, []byte("only target"))
 	f.Add([]byte("only base"), []byte{})
 	f.Add(bytes.Repeat([]byte("ab"), 300), bytes.Repeat([]byte("ab"), 301))
+	// Maximal self-overlap: a long single-byte run encodes as one ADD plus
+	// an overlapping target self-copy.
+	f.Add([]byte("x"), bytes.Repeat([]byte("x"), 500))
 	f.Fuzz(func(t *testing.T, base, target []byte) {
 		delta, err := Encode(base, target)
 		if err != nil {
