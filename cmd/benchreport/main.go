@@ -1,0 +1,185 @@
+// Command benchreport converts `go test -bench -benchmem` text output into a
+// machine-readable JSON report, so CI can archive benchmark numbers per
+// commit and regressions can be diffed mechanically instead of eyeballed.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkDeltaGeneration$' -benchmem . | benchreport -out BENCH_encode.json
+//	benchreport -in bench.txt -out BENCH_encode.json
+//
+// The parser understands the standard benchmark result line:
+//
+//	BenchmarkName-8   100   1234567 ns/op   2345 B/op   67 allocs/op   9.5 ms/delta
+//
+// Name suffixes from GOMAXPROCS (-8) are stripped into a separate field, and
+// any custom b.ReportMetric units (ms/delta, req/s, savings%) are collected
+// under "metrics". Exits nonzero if the input contains no benchmark results,
+// so a silently-empty bench run fails CI instead of uploading an empty file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin); err != nil {
+		log.Fatalf("benchreport: %v", err)
+	}
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix removed.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (0 when the line had none).
+	Procs int `json:"procs,omitempty"`
+	// Runs is the iteration count (the b.N column).
+	Runs int64 `json:"runs"`
+	// NsPerOp, BPerOp and AllocsPerOp are the standard -benchmem columns.
+	// BPerOp and AllocsPerOp are -1 when the run lacked -benchmem.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric values keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file benchreport writes.
+type Report struct {
+	// Goos, Goarch and Pkg echo the header lines go test prints, when
+	// present, so archived reports identify their platform.
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func run(args []string, stdin io.Reader) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "bench output file to parse (default: stdin)")
+		out = fs.String("out", "", "JSON report path (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+
+	rep, err := parse(src)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse reads `go test -bench` text output and extracts every result line.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseResultLine(line)
+			if !ok {
+				continue // e.g. a bare "BenchmarkFoo" announcement with -v
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResultLine parses one benchmark result line into a Result. It returns
+// ok=false for lines that start with "Benchmark" but are not result lines
+// (verbose-mode announcements, failures).
+func parseResultLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	res := Result{
+		BPerOp:      -1,
+		AllocsPerOp: -1,
+	}
+	res.Name, res.Procs = splitProcs(fields[0])
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Runs = runs
+	// The remainder alternates value / unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}
+
+// splitProcs separates the -GOMAXPROCS suffix go test appends to parallel
+// benchmark names. Only a purely numeric suffix after the last dash counts:
+// sub-benchmark names containing dashes (Benchmark/same-class-8) keep
+// everything before the final numeric segment.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 0
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 0
+	}
+	return name[:i], n
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: cbde
+cpu: some processor
+BenchmarkDeltaGeneration-8   	     100	   2985436 ns/op	         6.20 ms/delta	  904521 B/op	    8123 allocs/op
+BenchmarkEngineProcessParallel/same-class-8         	     100	   1479624 ns/op	       675.9 req/s	  729658 B/op	    5263 allocs/op
+BenchmarkEngineProcessParallel/cross-class-8        	     100	   1549728 ns/op	       645.3 req/s	  734332 B/op	    5341 allocs/op
+BenchmarkNoMem	 1000	 123 ns/op
+PASS
+ok  	cbde	12.3s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "cbde" {
+		t.Errorf("header = %q/%q/%q, want linux/amd64/cbde", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rep.Results))
+	}
+
+	dg := rep.Results[0]
+	if dg.Name != "BenchmarkDeltaGeneration" || dg.Procs != 8 {
+		t.Errorf("result 0 = %q procs=%d, want BenchmarkDeltaGeneration procs=8", dg.Name, dg.Procs)
+	}
+	if dg.Runs != 100 || dg.NsPerOp != 2985436 || dg.BPerOp != 904521 || dg.AllocsPerOp != 8123 {
+		t.Errorf("result 0 columns = %+v", dg)
+	}
+	if got := dg.Metrics["ms/delta"]; got != 6.20 {
+		t.Errorf("ms/delta metric = %v, want 6.20", got)
+	}
+
+	// Sub-benchmark names keep their internal dashes; only the trailing
+	// numeric GOMAXPROCS segment is split off.
+	same := rep.Results[1]
+	if same.Name != "BenchmarkEngineProcessParallel/same-class" || same.Procs != 8 {
+		t.Errorf("result 1 = %q procs=%d", same.Name, same.Procs)
+	}
+	if got := same.Metrics["req/s"]; got != 675.9 {
+		t.Errorf("req/s metric = %v, want 675.9", got)
+	}
+
+	// A run without -benchmem marks the memory columns absent, not zero.
+	nomem := rep.Results[3]
+	if nomem.Name != "BenchmarkNoMem" || nomem.Procs != 0 {
+		t.Errorf("result 3 = %q procs=%d, want BenchmarkNoMem procs=0", nomem.Name, nomem.Procs)
+	}
+	if nomem.BPerOp != -1 || nomem.AllocsPerOp != -1 {
+		t.Errorf("result 3 memory columns = %v/%v, want -1/-1", nomem.BPerOp, nomem.AllocsPerOp)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := `BenchmarkAnnouncedOnly
+Benchmark
+--- FAIL: BenchmarkBroken
+BenchmarkOdd   100   123 ns/op   extra
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("parsed %d results from non-result lines, want 0", len(rep.Results))
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 0},
+		{"BenchmarkFoo/sub-case-16", "BenchmarkFoo/sub-case", 16},
+		{"BenchmarkFoo/b-2-x", "BenchmarkFoo/b-2-x", 0},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Errorf("splitProcs(%q) = %q,%d; want %q,%d", c.in, name, procs, c.name, c.procs)
+		}
+	}
+}
+
+func TestRunWritesJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.txt")
+	out := filepath.Join(dir, "BENCH_encode.json")
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 4 {
+		t.Errorf("round-tripped %d results, want 4", len(rep.Results))
+	}
+}
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	err := run(nil, strings.NewReader("PASS\nok  cbde  0.1s\n"))
+	if err == nil {
+		t.Fatal("run succeeded on input with no benchmark results")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/origin"
+	"cbde/internal/testutil"
+)
+
+// processWarmAllocBudget bounds the steady-state allocation cost of serving
+// one delta response from a warm class. The remaining per-request objects are
+// the response payload itself (gzip output or the copied-out delta) and small
+// routing strings from URL partitioning — measured at ~5 objects/op; encoder
+// scratch and gzip state are pooled and must not show up here. The budget
+// carries ~2x headroom over the measured count so it trips on a pooling
+// regression, not on minor stdlib drift.
+const processWarmAllocBudget = 10
+
+func TestProcessWarmClassAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	eng, err := NewEngine(Config{
+		Anon: anonymize.Config{M: 1, N: 2},
+		// Disable candidate sampling so measurement sees the pure
+		// route+encode path with no group-rebases mid-run.
+		Selector: basefile.Config{SampleProb: -1},
+		Now:      monotonicClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := origin.NewSite(origin.Config{
+		Host:          "www.alloc.com",
+		Depts:         []origin.Dept{{Name: "catalog", Items: 2}},
+		TemplateBytes: 30000,
+		ItemBytes:     3000,
+		ChurnBytes:    1500,
+		Seed:          9100,
+	})
+	const url = "www.alloc.com/catalog/0"
+	var resp Response
+	for u := 0; u < 4; u++ {
+		doc, err := site.Render("catalog", 0, "", u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err = eng.Process(Request{URL: url, UserID: fmt.Sprintf("warm%d", u), Doc: doc})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resp.LatestVersion == 0 {
+		t.Fatal("no distributable base after warmup")
+	}
+	classID, version := resp.ClassID, resp.LatestVersion
+	doc, err := site.Render("catalog", 0, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{URL: url, UserID: "alloc", Doc: doc, HaveClassID: classID, HaveVersion: version}
+	// Warm the encode-scratch and gzip pools.
+	for i := 0; i < 5; i++ {
+		r, err := eng.Process(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kind != KindDelta {
+			t.Fatalf("expected delta response, got %v", r.Kind)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := eng.Process(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > processWarmAllocBudget {
+		t.Errorf("Process allocates %.1f objects/op on a warm class, budget %d",
+			allocs, processWarmAllocBudget)
+	}
+	t.Logf("Process warm-class allocations: %.1f objects/op (budget %d)", allocs, processWarmAllocBudget)
+}
+
+// monotonicClock returns a deterministic strictly-increasing clock so the
+// engine never consults wall time (and never varies allocation behavior with
+// the scheduler).
+func monotonicClock() func() time.Time {
+	base := time.Unix(1_000_000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"testing"
@@ -271,5 +272,186 @@ func TestConcurrentStateCreation(t *testing.T) {
 	}
 	if n := len(e.states()); n != 1 {
 		t.Fatalf("engine holds %d classStates, want 1", n)
+	}
+}
+
+// TestConcurrentPayloadAliasingStress is the buffer-ownership audit for the
+// pooled encode pipeline, run under `go test -race`. Encoder scratch and
+// gzip state are recycled across requests, so the test attacks the two
+// places a recycled buffer could leak: Response.Payload must never alias
+// pooled memory (a later request would rewrite bytes a client still holds),
+// and BaseFileView's zero-copy bytes must stay immutable while serving and
+// rebasing continue. Every goroutine retains the payloads it was served and
+// only decodes them after all serving has finished; if any payload shared a
+// pooled buffer, the interleaved requests would have corrupted it and the
+// checksum or the decode would fail.
+func TestConcurrentPayloadAliasingStress(t *testing.T) {
+	const (
+		goroutines = 8
+		classes    = 3
+		requests   = 120
+	)
+	e := newTestEngine(t, Config{
+		Anon: anonymize.Config{M: 1, N: 2},
+		Now:  time.Now,
+	})
+
+	// Warm each class until it distributes a base, then pin the base bytes'
+	// checksum via the zero-copy view.
+	type warmBase struct {
+		classID string
+		version int
+		view    []byte
+		sum     uint32
+	}
+	bases := make([]warmBase, classes)
+	for c := 0; c < classes; c++ {
+		dept := fmt.Sprintf("alias%d", c)
+		var resp Response
+		for u := 0; u < 6 && resp.LatestVersion == 0; u++ {
+			var err error
+			url := fmt.Sprintf("www.shop.com/%s/%d", dept, 0)
+			user := fmt.Sprintf("warm-%d-%d", c, u)
+			resp, err = e.Process(Request{URL: url, UserID: user, Doc: renderDoc(dept, 0, u, user)})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if resp.LatestVersion == 0 {
+			t.Fatalf("class %d: no distributable base after warmup", c)
+		}
+		view, ok := e.BaseFileView(resp.ClassID, resp.LatestVersion)
+		if !ok {
+			t.Fatalf("class %d: BaseFileView missing for v%d", c, resp.LatestVersion)
+		}
+		bases[c] = warmBase{
+			classID: resp.ClassID,
+			version: resp.LatestVersion,
+			view:    view,
+			sum:     crc32.ChecksumIEEE(view),
+		}
+	}
+
+	type servedDelta struct {
+		payload []byte
+		sum     uint32 // payload checksum at capture time
+		gzipped bool
+		format  Format
+		base    int    // index into bases
+		doc     []byte // expected reconstruction
+	}
+	retained := make([][]servedDelta, goroutines)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				c := (g + i) % classes
+				wb := bases[c]
+				dept := fmt.Sprintf("alias%d", c)
+				user := fmt.Sprintf("client-%d", g)
+				doc := renderDoc(dept, 0, 100+g*requests+i, user)
+				format := FormatVdelta
+				if i%5 == 4 {
+					format = FormatVCDIFF
+				}
+				resp, err := e.Process(Request{
+					URL: fmt.Sprintf("www.shop.com/%s/%d", dept, 0), UserID: user, Doc: doc,
+					HaveClassID: wb.classID, HaveVersion: wb.version,
+					Format: format,
+				})
+				if err != nil {
+					t.Errorf("Process: %v", err)
+					return
+				}
+				if resp.Kind != KindDelta || resp.BaseVersion != wb.version {
+					continue // full response or rebased base; nothing to retain
+				}
+				retained[g] = append(retained[g], servedDelta{
+					payload: resp.Payload,
+					sum:     crc32.ChecksumIEEE(resp.Payload),
+					gzipped: resp.Gzipped,
+					format:  resp.Format,
+					base:    c,
+					doc:     doc,
+				})
+				// Interleave concurrent pooled-reader work: decoding an
+				// earlier payload uses gzipx.Decompress's pooled gzip.Reader
+				// while other goroutines are mid-encode.
+				if n := len(retained[g]); i%3 == 0 && n > 1 {
+					earlier := retained[g][n/2]
+					got, err := e.DecodeAs(bases[earlier.base].view, earlier.payload,
+						earlier.gzipped, earlier.format)
+					if err != nil {
+						t.Errorf("mid-run decode: %v", err)
+						return
+					}
+					if !bytes.Equal(got, earlier.doc) {
+						t.Errorf("mid-run decode mismatch: got %d bytes, want %d",
+							len(got), len(earlier.doc))
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	// Concurrent base readers: the zero-copy view must never change while
+	// requests are being served against it.
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, wb := range bases {
+				if sum := crc32.ChecksumIEEE(wb.view); sum != wb.sum {
+					t.Errorf("class %s: BaseFileView bytes mutated while serving", wb.classID)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// All serving is over; every pooled buffer has been recycled many times.
+	// Retained payloads must be bit-identical to capture time and still
+	// reconstruct their documents from the (equally untouched) base views.
+	total := 0
+	for g := range retained {
+		for i, sd := range retained[g] {
+			if sum := crc32.ChecksumIEEE(sd.payload); sum != sd.sum {
+				t.Fatalf("goroutine %d payload %d mutated after serving: pooled buffer aliased", g, i)
+			}
+			got, err := e.DecodeAs(bases[sd.base].view, sd.payload, sd.gzipped, sd.format)
+			if err != nil {
+				t.Fatalf("goroutine %d payload %d: decode after serving: %v", g, i, err)
+			}
+			if !bytes.Equal(got, sd.doc) {
+				t.Fatalf("goroutine %d payload %d: reconstruction mismatch after serving", g, i)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("stress run retained no delta payloads; aliasing audit did not execute")
+	}
+	for _, wb := range bases {
+		if sum := crc32.ChecksumIEEE(wb.view); sum != wb.sum {
+			t.Fatalf("class %s: BaseFileView bytes mutated by run", wb.classID)
+		}
 	}
 }

@@ -175,18 +175,18 @@ type Request struct {
 	Format Format
 }
 
-// heldVersionsFor returns every version of classID the client holds.
-func (r Request) heldVersionsFor(classID string) []int {
-	var out []int
+// forEachHeldVersion calls fn with every version of classID the client
+// holds. It is a callback rather than a returned slice so the per-request
+// hot path allocates nothing here.
+func (r Request) forEachHeldVersion(classID string, fn func(v int)) {
 	if r.HaveClassID == classID && r.HaveVersion > 0 {
-		out = append(out, r.HaveVersion)
+		fn(r.HaveVersion)
 	}
 	for _, h := range r.Held {
 		if h.ClassID == classID && h.Version > 0 {
-			out = append(out, h.Version)
+			fn(h.Version)
 		}
 	}
-	return out
 }
 
 // ResponseKind distinguishes full-document from delta responses.
@@ -342,8 +342,29 @@ type Engine struct {
 
 	shards [classShardCount]classShard
 
+	// encBufs recycles the per-request delta scratch buffer (*encodeBuf).
+	// Together with the coder's own pooled index state and gzipx's pooled
+	// codec state, a steady-state delta response allocates only the payload
+	// it returns. Response.Payload never aliases a pooled buffer: it is
+	// either a fresh gzip output or a fresh copy of the scratch.
+	encBufs sync.Pool
+
 	reg *metrics.Registry
 	ctr hotCounters
+}
+
+// encodeBuf is the pooled per-request encode scratch. The uncompressed
+// delta is built in buf and either gzipped into the response payload or
+// copied out; buf itself always returns to the pool.
+type encodeBuf struct {
+	buf []byte
+}
+
+func (e *Engine) getEncodeBuf() *encodeBuf {
+	if v := e.encBufs.Get(); v != nil {
+		return v.(*encodeBuf)
+	}
+	return &encodeBuf{}
 }
 
 // NewEngine returns an Engine configured by cfg.
@@ -575,11 +596,11 @@ func (cs *classState) snapshotLocked(req Request) encodeSnapshot {
 		// No distributable base yet (anonymization in progress).
 		return snap
 	}
-	for _, v := range req.heldVersionsFor(cs.id) {
+	req.forEachHeldVersion(cs.id, func(v int) {
 		if bv, ok := cs.bases[v]; ok && v > snap.clientVersion {
 			snap.clientVersion, snap.base = v, bv
 		}
-	}
+	})
 	return snap
 }
 
@@ -597,6 +618,9 @@ func (e *Engine) latestVersion(cs *classState) int {
 // (encode-then-revalidate) so clients learn about rebases that landed while
 // we were encoding; the delta itself stays valid regardless, because it was
 // computed against bytes the client holds.
+//
+// The vdelta path encodes into a pooled scratch buffer and gzips from it,
+// so a steady-state delta response allocates only the returned payload.
 func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now time.Time) Response {
 	if snap.base == nil {
 		return Response{Kind: KindFull, LatestVersion: snap.distVersion}
@@ -608,17 +632,28 @@ func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now t
 	}
 	var delta []byte
 	var err error
+	var scratch *encodeBuf // non-nil when delta lives in pooled memory
 	if format == FormatVCDIFF {
 		delta, err = vcdiff.Encode(snap.base.bytes, req.Doc)
 	} else {
 		// The base-file changes only on rebases, so its codec index is
-		// built once per version and reused across requests.
-		delta, err = e.coder.EncodeIndexed(snap.base.vdeltaIndex(e.coder), req.Doc)
+		// built once per version and reused across requests; the delta is
+		// built in request-scoped scratch.
+		scratch = e.getEncodeBuf()
+		delta, err = e.coder.EncodeIndexedInto(snap.base.vdeltaIndex(e.coder), req.Doc, scratch.buf)
+		scratch.buf = delta[:0] // retain grown capacity whatever path follows
+	}
+	release := func() {
+		if scratch != nil {
+			e.encBufs.Put(scratch)
+		}
 	}
 	if err != nil {
+		release()
 		return Response{Kind: KindFull, LatestVersion: e.latestVersion(cs)}
 	}
 	if float64(len(delta)) > e.cfg.MaxDeltaRatio*float64(len(req.Doc)) {
+		release()
 		return e.basicRebase(cs, snap, req, now)
 	}
 
@@ -629,6 +664,12 @@ func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now t
 			payload, gzipped = c, true
 		}
 	}
+	if !gzipped && scratch != nil {
+		// The uncompressed delta is pooled scratch; the payload escapes to
+		// the caller, so it must be a fresh copy.
+		payload = append([]byte(nil), delta...)
+	}
+	release()
 	return Response{
 		Kind:          KindDelta,
 		BaseVersion:   snap.clientVersion,

@@ -95,5 +95,33 @@ func FuzzEngineProcessRoundTrip(f *testing.F) {
 		if !bytes.Equal(got, doc2) {
 			t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(doc2))
 		}
+		// Differential: the engine encodes through the pooled reused-index
+		// path (EncodeIndexedInto); it must agree byte-for-byte with an
+		// independently built index and with the per-call Encode path, so a
+		// pooling or index bug cannot hide behind a still-decodable delta.
+		coder := vdelta.NewCoder()
+		indexed, err := coder.EncodeIndexed(coder.NewIndex(base), doc2)
+		if err != nil {
+			t.Fatalf("EncodeIndexed: %v", err)
+		}
+		plain, err := coder.Encode(base, doc2)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !bytes.Equal(indexed, plain) {
+			t.Fatalf("EncodeIndexed differs from Encode (%d vs %d bytes)", len(indexed), len(plain))
+		}
+		if resp.Format == FormatVdelta {
+			served := resp.Payload
+			if resp.Gzipped {
+				if served, err = gzipx.Decompress(resp.Payload); err != nil {
+					t.Fatalf("decompress served delta: %v", err)
+				}
+			}
+			if !bytes.Equal(served, indexed) {
+				t.Fatalf("served delta differs from independent flat-index encode (%d vs %d bytes)",
+					len(served), len(indexed))
+			}
+		}
 	})
 }

@@ -1,0 +1,91 @@
+package gzipx
+
+import (
+	"bytes"
+	"testing"
+
+	"cbde/internal/testutil"
+)
+
+// Allocation budgets for the pooled gzip paths, asserted with
+// testing.AllocsPerRun so a pooling regression fails `go test ./...`.
+// Compress allocates exactly its returned buffer (budget 2 allows a pool
+// refill after GC); AppendCompress into sufficient capacity and
+// CompressedSize allocate nothing; Decompress allocates only the inflated
+// output, which io.ReadAll grows in O(log n) steps (~13 for a 28 KB
+// document), so its budget guards the pooled reader, not output growth.
+const (
+	compressAllocBudget       = 2
+	appendCompressAllocBudget = 0.5
+	compressedSizeAllocBudget = 0.5
+	decompressAllocBudget     = 18
+)
+
+func benchPayload() []byte {
+	return bytes.Repeat([]byte("dynamic document content, mildly compressible; "), 600) // ~28 KB
+}
+
+func TestCompressAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	data := benchPayload()
+	for i := 0; i < 3; i++ {
+		Compress(data)
+	}
+	allocs := testing.AllocsPerRun(50, func() { Compress(data) })
+	if allocs > compressAllocBudget {
+		t.Errorf("Compress allocates %.1f objects/op, budget %d", allocs, compressAllocBudget)
+	}
+}
+
+func TestAppendCompressAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	data := benchPayload()
+	dst := make([]byte, 0, len(data))
+	for i := 0; i < 3; i++ {
+		dst = AppendCompress(dst[:0], data)
+	}
+	allocs := testing.AllocsPerRun(50, func() { dst = AppendCompress(dst[:0], data) })
+	if allocs > appendCompressAllocBudget {
+		t.Errorf("AppendCompress allocates %.1f objects/op with capacity, budget %.1f",
+			allocs, appendCompressAllocBudget)
+	}
+}
+
+func TestCompressedSizeAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	data := benchPayload()
+	for i := 0; i < 3; i++ {
+		CompressedSize(data)
+	}
+	allocs := testing.AllocsPerRun(50, func() { CompressedSize(data) })
+	if allocs > compressedSizeAllocBudget {
+		t.Errorf("CompressedSize allocates %.1f objects/op, budget %.1f",
+			allocs, compressedSizeAllocBudget)
+	}
+}
+
+func TestDecompressAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	c := Compress(benchPayload())
+	for i := 0; i < 3; i++ {
+		if _, err := Decompress(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Decompress(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > decompressAllocBudget {
+		t.Errorf("Decompress allocates %.1f objects/op, budget %d", allocs, decompressAllocBudget)
+	}
+}

@@ -2,8 +2,10 @@
 //
 // The paper compresses every delta with gzip before shipping it (Section
 // VI-A, footnote 8); roughly a factor of 2 of the reported savings comes
-// from compression. The delta-server compresses on every request, so writer
-// reuse matters.
+// from compression. The delta-server compresses and decompresses on every
+// request, so all per-call codec state — writer, reader, byte source and
+// sink — is pooled; the only steady-state allocation is the result handed
+// to the caller.
 package gzipx
 
 import (
@@ -14,39 +16,130 @@ import (
 	"sync"
 )
 
-var writerPool = sync.Pool{
+// sliceWriter appends everything written to it to buf. It is the pooled
+// sink that lets AppendCompress build output without a bytes.Buffer.
+type sliceWriter struct {
+	buf []byte
+}
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// compressor bundles a gzip.Writer with its slice sink so one pool Get
+// yields everything a compression call needs.
+type compressor struct {
+	sink sliceWriter
+	zw   *gzip.Writer
+}
+
+var compressorPool = sync.Pool{
 	New: func() any {
-		w, err := gzip.NewWriterLevel(io.Discard, gzip.BestCompression)
+		c := &compressor{}
+		zw, err := gzip.NewWriterLevel(&c.sink, gzip.BestCompression)
 		if err != nil {
 			// Only reachable with an invalid level constant.
 			panic(fmt.Sprintf("gzipx: NewWriterLevel: %v", err))
 		}
-		return w
+		c.zw = zw
+		return c
 	},
 }
 
 // Compress returns the gzip compression of data at BestCompression level.
+// The result is freshly allocated and owned by the caller.
 func Compress(data []byte) []byte {
-	w := writerPool.Get().(*gzip.Writer)
-	defer writerPool.Put(w)
-
-	var buf bytes.Buffer
-	buf.Grow(len(data)/3 + 64)
-	w.Reset(&buf)
-	// Writes to a bytes.Buffer cannot fail.
-	_, _ = w.Write(data)
-	_ = w.Close()
-	return buf.Bytes()
+	return AppendCompress(make([]byte, 0, len(data)/3+64), data)
 }
 
-// Decompress inflates gzip-compressed data.
+// AppendCompress appends the gzip compression of data (BestCompression
+// level) to dst and returns the extended slice, growing it as needed. It
+// allocates nothing when dst has sufficient capacity, which lets request
+// loops compress into recycled buffers.
+func AppendCompress(dst, data []byte) []byte {
+	c := compressorPool.Get().(*compressor)
+	c.sink.buf = dst
+	c.zw.Reset(&c.sink)
+	// Writes to the slice sink cannot fail.
+	_, _ = c.zw.Write(data)
+	_ = c.zw.Close()
+	out := c.sink.buf
+	c.sink.buf = nil // do not retain caller memory in the pool
+	compressorPool.Put(c)
+	return out
+}
+
+// countWriter discards writes, counting them.
+type countWriter struct {
+	n int
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return len(p), nil
+}
+
+// sizer is the pooled state behind CompressedSize: a gzip.Writer whose sink
+// only counts, so sizing a compression materializes no output at all.
+type sizer struct {
+	sink countWriter
+	zw   *gzip.Writer
+}
+
+var sizerPool = sync.Pool{
+	New: func() any {
+		s := &sizer{}
+		zw, err := gzip.NewWriterLevel(&s.sink, gzip.BestCompression)
+		if err != nil {
+			panic(fmt.Sprintf("gzipx: NewWriterLevel: %v", err))
+		}
+		s.zw = zw
+		return s
+	},
+}
+
+// CompressedSize returns len(Compress(data)) without materializing the
+// compressed bytes. Use it when only the size matters (ratio reporting,
+// admission decisions); it allocates nothing in steady state.
+func CompressedSize(data []byte) int {
+	s := sizerPool.Get().(*sizer)
+	s.sink.n = 0
+	s.zw.Reset(&s.sink)
+	_, _ = s.zw.Write(data)
+	_ = s.zw.Close()
+	n := s.sink.n
+	sizerPool.Put(s)
+	return n
+}
+
+// decompressor bundles a gzip.Reader with its byte source so Decompress
+// performs no per-call reader allocations.
+type decompressor struct {
+	src bytes.Reader
+	zr  gzip.Reader
+}
+
+var decompressorPool = sync.Pool{
+	New: func() any { return new(decompressor) },
+}
+
+// Decompress inflates gzip-compressed data. The result is freshly allocated
+// and owned by the caller.
 func Decompress(data []byte) ([]byte, error) {
-	r, err := gzip.NewReader(bytes.NewReader(data))
-	if err != nil {
+	d := decompressorPool.Get().(*decompressor)
+	defer func() {
+		d.src.Reset(nil) // do not retain caller memory in the pool
+		decompressorPool.Put(d)
+	}()
+	d.src.Reset(data)
+	if err := d.zr.Reset(&d.src); err != nil {
 		return nil, fmt.Errorf("gzipx: open stream: %w", err)
 	}
-	defer r.Close()
-	out, err := io.ReadAll(r)
+	out, err := io.ReadAll(&d.zr)
+	if cerr := d.zr.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, fmt.Errorf("gzipx: inflate: %w", err)
 	}
@@ -54,14 +147,15 @@ func Decompress(data []byte) ([]byte, error) {
 }
 
 // Ratio returns the compression ratio original/compressed for data, or 1 for
-// empty input. It is a convenience for experiment reporting.
+// empty input. It is a convenience for experiment reporting and never
+// materializes the compressed bytes.
 func Ratio(data []byte) float64 {
 	if len(data) == 0 {
 		return 1
 	}
-	c := Compress(data)
-	if len(c) == 0 {
+	c := CompressedSize(data)
+	if c == 0 {
 		return 1
 	}
-	return float64(len(data)) / float64(len(c))
+	return float64(len(data)) / float64(c)
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+// Package testutil holds small helpers shared by test files across packages.
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation-
+// budget tests skip under -race: instrumentation changes allocation counts,
+// and those runs assert data-race freedom, not allocation discipline.
+const RaceEnabled = true

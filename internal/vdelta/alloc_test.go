@@ -1,0 +1,91 @@
+package vdelta
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"cbde/internal/testutil"
+)
+
+// Allocation budgets for the steady-state encode path. These are regression
+// tripwires, not aspirations: EncodeIndexed on a warm pool allocates exactly
+// one object (the returned delta), and the budget of 2 leaves room for an
+// occasional pool refill after a GC. A failure here means per-call state
+// stopped being pooled.
+const (
+	encodeIndexedAllocBudget     = 2
+	encodeIndexedIntoAllocBudget = 0.5 // scratch supplied by caller: ~zero
+	estimateAllocBudget          = 0.5
+)
+
+func TestEncodeIndexedAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	rng := rand.New(rand.NewPCG(41, 2))
+	c := NewCoder()
+	base, target := randDoc(rng, 40000)
+	ix := c.NewIndex(base)
+	// Warm the scratch pool.
+	for i := 0; i < 5; i++ {
+		if _, err := c.EncodeIndexed(ix, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.EncodeIndexed(ix, target); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > encodeIndexedAllocBudget {
+		t.Errorf("EncodeIndexed allocates %.1f objects/op on a warm index, budget %d",
+			allocs, encodeIndexedAllocBudget)
+	}
+}
+
+func TestEncodeIndexedIntoAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	rng := rand.New(rand.NewPCG(42, 3))
+	c := NewCoder()
+	base, target := randDoc(rng, 40000)
+	ix := c.NewIndex(base)
+	var scratch []byte
+	for i := 0; i < 5; i++ {
+		d, err := c.EncodeIndexedInto(ix, target, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = d
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		d, err := c.EncodeIndexedInto(ix, target, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = d
+	})
+	if allocs > encodeIndexedIntoAllocBudget {
+		t.Errorf("EncodeIndexedInto allocates %.1f objects/op with warm scratch, budget %.1f",
+			allocs, encodeIndexedIntoAllocBudget)
+	}
+}
+
+func TestEstimateAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	rng := rand.New(rand.NewPCG(43, 4))
+	est := NewEstimator()
+	base, target := randDoc(rng, 40000)
+	for i := 0; i < 5; i++ {
+		est.Estimate(base, target)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		est.Estimate(base, target)
+	})
+	if allocs > estimateAllocBudget {
+		t.Errorf("Estimate allocates %.1f objects/op warm, budget %.1f", allocs, estimateAllocBudget)
+	}
+}

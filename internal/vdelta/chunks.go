@@ -29,7 +29,7 @@ func CommonChunks(base, target []byte, chunkSize int) []bool {
 
 	// Index every target window of width w, verifying on lookup to rule out
 	// hash collisions.
-	idx := newChunkIndex(len(target), 64)
+	idx := newChunkIndex(positionCount(len(target), w, 1), 64)
 	for i := 0; i+w <= len(target); i++ {
 		idx.add(hashChunk(target, i, w), int32(i))
 	}
@@ -40,7 +40,9 @@ func CommonChunks(base, target []byte, chunkSize int) []bool {
 			return bytesContains(target, chunk)
 		}
 		h := hashChunk(chunk, 0, w)
-		for _, pos := range idx.lookup(h) {
+		pos := idx.head[h&idx.mask]
+		n := 0
+		for ; pos >= 0 && n < idx.maxChain; n++ {
 			if bytesEqualAt(target, int(pos), chunk[:w]) {
 				if len(chunk) == w {
 					return true
@@ -50,10 +52,11 @@ func CommonChunks(base, target []byte, chunkSize int) []bool {
 					return true
 				}
 			}
+			pos = idx.prev[pos]
 		}
-		// The bounded chain may have dropped the matching position; fall
-		// back to a direct scan only for chunks whose hash bucket was full.
-		if len(idx.lookup(h)) >= 64 {
+		// The bounded walk may have stopped before the matching position;
+		// fall back to a direct scan only when candidates remained.
+		if pos >= 0 {
 			return bytesContains(target, chunk)
 		}
 		return false
@@ -102,7 +105,7 @@ func CommonChunksRun(base, target []byte, chunkSize, runLen int) []bool {
 	// least runLen bytes. Seed candidate runs with a window index over the
 	// target, verify, and extend maximally in both directions.
 	w := chunkSize
-	idx := newChunkIndex(len(target), 64)
+	idx := newChunkIndex(positionCount(len(target), w, 1), 64)
 	for i := 0; i+w <= len(target); i++ {
 		idx.add(hashChunk(target, i, w), int32(i))
 	}
@@ -114,7 +117,7 @@ func CommonChunksRun(base, target []byte, chunkSize, runLen int) []bool {
 		}
 		h := hashChunk(base, i, w)
 		bestLen, bestStart := 0, 0
-		for _, pos := range idx.lookup(h) {
+		for pos, k := idx.head[h&idx.mask], 0; pos >= 0 && k < idx.maxChain; pos, k = idx.prev[pos], k+1 {
 			p := int(pos)
 			if !bytesEqualAt(target, p, base[i:i+w]) {
 				continue

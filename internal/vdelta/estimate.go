@@ -1,6 +1,9 @@
 package vdelta
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sync"
+)
 
 // DefaultEstimatorChunkSize is the chunk width of the light delta variant
 // used for grouping probes. The paper's light Vdelta "uses larger
@@ -11,12 +14,15 @@ const DefaultEstimatorChunkSize = 16
 // Estimator implements the light delta variant: it estimates the size of the
 // delta between a base-file and a document without materializing the delta.
 // It indexes the base at chunk-aligned positions only and extends matches
-// forward only, trading match quality for speed.
+// forward only, trading match quality for speed. The index is the same flat
+// chain-array structure the full encoder uses, drawn from a pool so probes
+// allocate nothing in steady state.
 //
 // An Estimator is safe for concurrent use.
 type Estimator struct {
 	chunkSize int
 	maxChain  int
+	pool      sync.Pool
 }
 
 // NewEstimator returns an Estimator. Supported options are WithChunkSize and
@@ -27,7 +33,9 @@ func NewEstimator(opts ...Option) *Estimator {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return &Estimator{chunkSize: cfg.chunkSize, maxChain: cfg.maxChain}
+	e := &Estimator{chunkSize: cfg.chunkSize, maxChain: cfg.maxChain}
+	e.pool.New = func() any { return new(chunkIndex) }
+	return e
 }
 
 // Estimate returns an estimate, in bytes, of the size of the delta that
@@ -37,9 +45,16 @@ func NewEstimator(opts ...Option) *Estimator {
 func (e *Estimator) Estimate(base, target []byte) int {
 	w := e.chunkSize
 
-	idx := newChunkIndex(len(base)/w+1, e.maxChain)
-	for i := 0; i+w <= len(base); i += w {
-		idx.add(hashChunk(base, i, w), int32(i))
+	// The index stores chunk ordinals (i/w) rather than byte offsets, so the
+	// prev array needs one entry per chunk, not per byte.
+	idx := e.pool.Get().(*chunkIndex)
+	defer e.pool.Put(idx)
+	chunks := positionCount(len(base), w, w)
+	idx.init(chunks, 0, e.maxChain)
+	// Decreasing insertion order: bounded lookups prefer the oldest
+	// positions (see the chunkIndex comment).
+	for ord := int32(chunks) - 1; ord >= 0; ord-- {
+		idx.add(hashChunk(base, int(ord)*w, w), ord)
 	}
 
 	const headerOverhead = 5 + 4 // magic+flags, checksum
@@ -56,15 +71,17 @@ func (e *Estimator) Estimate(base, target []byte) int {
 	for pos+w <= len(target) {
 		h := hashChunk(target, pos, w)
 		bestStart, bestLen := -1, 0
-		for _, c := range idx.lookup(h) {
-			start := int(c)
+		p := idx.head[h&idx.mask]
+		for k := 0; p >= 0 && k < idx.maxChain; k++ {
+			start := int(p) * w
 			n := 0
 			for start+n < len(base) && pos+n < len(target) && base[start+n] == target[pos+n] {
 				n++
 			}
-			if n > bestLen {
+			if n > bestLen || (n == bestLen && n > 0 && start < bestStart) {
 				bestStart, bestLen = start, n
 			}
+			p = idx.prev[p]
 		}
 		if bestLen >= w {
 			flushLit()

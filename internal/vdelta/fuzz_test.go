@@ -31,7 +31,7 @@ func FuzzDecode(f *testing.F) {
 	// reconstruct byte-by-byte, never over-read.
 	f.Add(append(append([]byte(nil), hdr...), 9, opAdd, 1, 'x', opCopy, byte(len(base)), 8, opEnd))
 	// Target self-copy starting at a not-yet-written offset: must error.
-	f.Add(append(append([]byte(nil), hdr...), 9, opAdd, 1, 'x', opCopy, byte(len(base) + 5), 4, opEnd))
+	f.Add(append(append([]byte(nil), hdr...), 9, opAdd, 1, 'x', opCopy, byte(len(base)+5), 4, opEnd))
 
 	f.Fuzz(func(t *testing.T, delta []byte) {
 		_, _ = Decode(base, delta)
@@ -49,6 +49,7 @@ func FuzzRoundTrip(f *testing.F) {
 	// Maximal self-overlap: a long single-byte run encodes as one ADD plus
 	// an overlapping target self-copy.
 	f.Add([]byte("x"), bytes.Repeat([]byte("x"), 500))
+	c := NewCoder()
 	f.Fuzz(func(t *testing.T, base, target []byte) {
 		delta, err := Encode(base, target)
 		if err != nil {
@@ -60,6 +61,12 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(got, target) {
 			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(target))
+		}
+		// Differential: the flat chain-array index must match the retained
+		// map-based reference byte-for-byte on everything the fuzzer finds.
+		if ref := refEncode(c.cfg, base, target); !bytes.Equal(delta, ref) {
+			t.Fatalf("flat-index delta differs from map-based reference (%d vs %d bytes)",
+				len(delta), len(ref))
 		}
 	})
 }

@@ -4,14 +4,15 @@ package vdelta
 // index is the dominant cost of Encode (every base position is hashed and
 // chained); a delta-server encodes many documents against the same class
 // base-file, so it indexes the base once per rebase and reuses the Index
-// across requests.
+// across requests. The index itself is two flat chain arrays (head over a
+// power-of-two hash space, prev per base position) — see chunkIndex.
 //
 // An Index is immutable after construction and safe for concurrent use. It
 // must only be used with the Coder configuration that produced it.
 type Index struct {
 	cfg  config
 	base []byte
-	idx  *chunkIndex
+	idx  chunkIndex
 }
 
 // NewIndex builds a reusable index over base. The base bytes are copied, so
@@ -20,11 +21,14 @@ func (c *Coder) NewIndex(base []byte) *Index {
 	b := make([]byte, len(base))
 	copy(b, base)
 	w := c.cfg.chunkSize
-	idx := newChunkIndex(len(b)/w+1, c.cfg.maxChain)
-	for i := 0; i+w <= len(b); i++ {
-		idx.add(hashChunk(b, i, w), int32(i))
+	ix := &Index{cfg: c.cfg, base: b}
+	// Decreasing insertion order: bounded lookups prefer the oldest
+	// positions (see the chunkIndex comment).
+	ix.idx.init(positionCount(len(b), w, 1), 0, c.cfg.maxChain)
+	for i := len(b) - w; i >= 0; i-- {
+		ix.idx.add(hashChunk(b, i, w), int32(i))
 	}
-	return &Index{cfg: c.cfg, base: b, idx: idx}
+	return ix
 }
 
 // Base returns the indexed base-file bytes. Callers must not modify them.
@@ -34,21 +38,52 @@ func (ix *Index) Base() []byte { return ix.base }
 func (ix *Index) Len() int { return len(ix.base) }
 
 // EncodeIndexed computes the delta that transforms the indexed base into
-// target, skipping the per-call base indexing that Encode performs.
+// target, skipping the per-call base indexing that Encode performs. All
+// per-call scratch (target index, output buffer) comes from the Coder's
+// pool, so on a warm pool the only allocation is the returned delta, which
+// the caller owns.
 func (c *Coder) EncodeIndexed(ix *Index, target []byte) ([]byte, error) {
 	if len(target) > maxInputLen {
 		return nil, errInputTooLarge(len(ix.base), len(target))
 	}
+	st := c.getState()
+	defer c.pool.Put(st)
+	out := c.runIndexed(st, ix, target, st.out[:0])
+	st.out = out // retain the grown scratch for the next encode
+	delta := make([]byte, len(out))
+	copy(delta, out)
+	return delta, nil
+}
+
+// EncodeIndexedInto is EncodeIndexed writing the delta into dst's storage
+// (starting at dst[:0], growing as needed) and returning the result, which
+// may or may not alias dst. It exists so callers with a request-scoped
+// scratch buffer — the engine's hot path — can encode without allocating
+// even the delta. The returned slice is only valid until dst is reused.
+func (c *Coder) EncodeIndexedInto(ix *Index, target, dst []byte) ([]byte, error) {
+	if len(target) > maxInputLen {
+		return nil, errInputTooLarge(len(ix.base), len(target))
+	}
+	st := c.getState()
+	defer c.pool.Put(st)
+	return c.runIndexed(st, ix, target, dst[:0]), nil
+}
+
+// runIndexed runs the encoder against a prebuilt base index, drawing the
+// target index from pooled state and appending the delta to out.
+func (c *Coder) runIndexed(st *encState, ix *Index, target, out []byte) []byte {
 	var targetIdx *chunkIndex
 	if c.cfg.targetMatching {
-		targetIdx = newChunkIndex(len(target)/c.cfg.chunkSize+1, c.cfg.maxChain)
+		targetIdx = &st.targetIdx
+		targetIdx.init(positionCount(len(target), c.cfg.chunkSize, 1), int32(len(ix.base)), c.cfg.maxChain)
 	}
 	enc := deltaEncoder{
 		cfg:       c.cfg,
 		base:      ix.base,
 		target:    target,
-		baseIdx:   ix.idx,
+		baseIdx:   &ix.idx,
 		targetIdx: targetIdx,
+		out:       out,
 	}
-	return enc.run(), nil
+	return enc.run()
 }

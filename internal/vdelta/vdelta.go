@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 )
 
 // Wire format constants.
@@ -131,10 +132,15 @@ func WithChecksum(enabled bool) Option {
 }
 
 // Coder is a reusable, configured encoder/decoder. The zero value is not
-// valid; use NewCoder. A Coder is safe for concurrent use: it holds only
-// immutable configuration.
+// valid; use NewCoder. A Coder is safe for concurrent use: its configuration
+// is immutable and its scratch pool is concurrency-safe.
 type Coder struct {
 	cfg config
+	// pool recycles per-call encode state (index arrays and the output
+	// scratch buffer) so steady-state encodes allocate only the delta they
+	// return. Keyed off the Coder — and therefore off its config — because
+	// array sizing depends on chunkSize/maxChain.
+	pool sync.Pool
 }
 
 // NewCoder returns a Coder with the given options applied over the defaults.
@@ -146,7 +152,9 @@ func NewCoder(opts ...Option) *Coder {
 	if cfg.minMatch < cfg.chunkSize {
 		cfg.minMatch = cfg.chunkSize
 	}
-	return &Coder{cfg: cfg}
+	c := &Coder{cfg: cfg}
+	c.pool.New = func() any { return new(encState) }
+	return c
 }
 
 // Encode computes the delta that transforms base into target using the
@@ -192,31 +200,104 @@ func hashChunk(b []byte, i, w int) uint32 {
 	return h
 }
 
-// chunkIndex maps chunk hashes to source positions, with per-bucket chains
-// bounded by maxChain.
+// chunkIndex maps chunk hashes to source positions using zlib-style flat
+// chain arrays instead of a map of slices: head[h&mask] holds the most
+// recently inserted position for a hash slot, and prev[pos-bias] links each
+// position to the previously inserted one sharing its slot. Insertion is
+// O(1) and allocation-free after init; the maxChain bound is applied at
+// lookup time by walking at most maxChain links, newest-first.
+//
+// Positions are virtual-source offsets (base first, then target prefix);
+// bias is the virtual offset of prev[0], so a target-prefix index stores
+// only len(target) links. Callers must insert positions in strictly
+// monotonic order — re-inserting a position would create a cycle in the
+// chain (bounded walks keep that from looping forever, but it loses older
+// candidates). Insertion order doubles as candidate priority: the bounded
+// lookup walks last-inserted-first. Static indexes over a whole base are
+// built in decreasing position order, so lookups prefer the oldest (lowest)
+// positions, which have the longest forward runway on repetitive content;
+// the incremental target-prefix index necessarily inserts in increasing
+// order and so prefers recent positions, as zlib does.
 type chunkIndex struct {
-	buckets  map[uint32][]int32
+	mask     uint32
+	bias     int32
 	maxChain int
+	head     []int32 // 1<<k entries, -1 = empty slot
+	prev     []int32 // one entry per insertable position
 }
 
-func newChunkIndex(capacityHint, maxChain int) *chunkIndex {
-	return &chunkIndex{
-		buckets:  make(map[uint32][]int32, capacityHint),
-		maxChain: maxChain,
+// maxHashSpace caps the head array (4 MiB of int32) so multi-hundred-MB
+// bases degrade to longer chains instead of unbounded table growth.
+const maxHashSpace = 1 << 20
+
+// hashSpaceFor returns the power-of-two head size for the expected number of
+// insertable positions (load factor ~1, floor 256).
+func hashSpaceFor(positions int) int {
+	n := 256
+	for n < positions && n < maxHashSpace {
+		n <<= 1
 	}
+	return n
 }
 
+// positionCount returns how many chunk positions a buffer of length n yields
+// at the given chunk width and stride.
+func positionCount(n, w, stride int) int {
+	if n < w {
+		return 0
+	}
+	return (n-w)/stride + 1
+}
+
+// init sizes (or re-sizes, reusing capacity) the arrays for the given number
+// of insertable positions and clears the table. It is what makes a pooled
+// chunkIndex reusable across encodes.
+func (idx *chunkIndex) init(positions int, bias int32, maxChain int) {
+	n := hashSpaceFor(positions)
+	if cap(idx.head) >= n {
+		idx.head = idx.head[:n]
+	} else {
+		idx.head = make([]int32, n)
+	}
+	for i := range idx.head {
+		idx.head[i] = -1
+	}
+	if cap(idx.prev) >= positions {
+		idx.prev = idx.prev[:positions]
+	} else {
+		idx.prev = make([]int32, positions)
+	}
+	idx.mask = uint32(n - 1)
+	idx.bias = bias
+	idx.maxChain = maxChain
+}
+
+// newChunkIndex allocates a fresh index for the given number of positions.
+func newChunkIndex(positions, maxChain int) *chunkIndex {
+	idx := &chunkIndex{}
+	idx.init(positions, 0, maxChain)
+	return idx
+}
+
+// add records pos (a virtual-source offset ≥ bias) under hash h. Positions
+// must be added in strictly monotonic order (see the type comment).
 func (idx *chunkIndex) add(h uint32, pos int32) {
-	chain := idx.buckets[h]
-	if len(chain) >= idx.maxChain {
-		return
-	}
-	idx.buckets[h] = append(chain, pos)
+	slot := h & idx.mask
+	idx.prev[pos-idx.bias] = idx.head[slot]
+	idx.head[slot] = pos
 }
 
-func (idx *chunkIndex) lookup(h uint32) []int32 {
-	return idx.buckets[h]
+// encState is the pooled per-call encoder state: the index arrays and the
+// output scratch buffer. Returned deltas never alias it — they are copied
+// out (Encode, EncodeIndexed) or written into a caller-supplied buffer
+// (EncodeIndexedInto) — so recycling it is safe.
+type encState struct {
+	baseIdx   chunkIndex
+	targetIdx chunkIndex
+	out       []byte
 }
+
+func (c *Coder) getState() *encState { return c.pool.Get().(*encState) }
 
 // Encode computes the delta that transforms base into target.
 //
@@ -229,27 +310,36 @@ func (c *Coder) Encode(base, target []byte) ([]byte, error) {
 		return nil, errInputTooLarge(len(base), len(target))
 	}
 	w := c.cfg.chunkSize
+	st := c.getState()
+	defer c.pool.Put(st)
 
-	// Index every base position (bounded chains). Positions in the virtual
-	// source are [0, len(base)) for the base and [len(base), ...) for the
-	// target prefix.
-	baseIdx := newChunkIndex(len(base)/w+1, c.cfg.maxChain)
-	for i := 0; i+w <= len(base); i++ {
-		baseIdx.add(hashChunk(base, i, w), int32(i))
+	// Index every base position (chains bounded at lookup). Positions in the
+	// virtual source are [0, len(base)) for the base and [len(base), ...)
+	// for the target prefix. Decreasing insertion order makes bounded
+	// lookups prefer the oldest positions, as the map-based index did.
+	st.baseIdx.init(positionCount(len(base), w, 1), 0, c.cfg.maxChain)
+	for i := len(base) - w; i >= 0; i-- {
+		st.baseIdx.add(hashChunk(base, i, w), int32(i))
 	}
 	var targetIdx *chunkIndex
 	if c.cfg.targetMatching {
-		targetIdx = newChunkIndex(len(target)/w+1, c.cfg.maxChain)
+		targetIdx = &st.targetIdx
+		targetIdx.init(positionCount(len(target), w, 1), int32(len(base)), c.cfg.maxChain)
 	}
 
 	enc := deltaEncoder{
 		cfg:       c.cfg,
 		base:      base,
 		target:    target,
-		baseIdx:   baseIdx,
+		baseIdx:   &st.baseIdx,
 		targetIdx: targetIdx,
+		out:       st.out[:0],
 	}
-	return enc.run(), nil
+	out := enc.run()
+	st.out = out // retain the grown scratch for the next encode
+	delta := make([]byte, len(out))
+	copy(delta, out)
+	return delta, nil
 }
 
 // deltaEncoder holds the per-call encoding state.
@@ -279,7 +369,9 @@ func (e *deltaEncoder) run() []byte {
 	base, target := e.base, e.target
 	w := e.cfg.chunkSize
 
-	e.out = make([]byte, 0, len(target)/4+32)
+	if cap(e.out) == 0 {
+		e.out = make([]byte, 0, len(target)/4+32)
+	}
 	e.writeHeader()
 
 	for e.pos+w <= len(target) {
@@ -288,11 +380,12 @@ func (e *deltaEncoder) run() []byte {
 		if best.length >= e.cfg.minMatch {
 			e.flushLiterals(e.pos - best.back)
 			e.emitCopy(best.start, best.length)
-			// Index the first position of the copied region so later target
-			// self-matches can find it.
+			// Index the copied region so later target self-matches can find
+			// it. Positions before e.pos were already inserted one-by-one
+			// while the literal run was scanned; the chain arrays require
+			// strictly increasing inserts, so start at e.pos.
 			if e.targetIdx != nil {
-				from := e.pos - best.back
-				e.indexTargetRange(from, from+best.length)
+				e.indexTargetRange(e.pos, e.pos-best.back+best.length)
 			}
 			e.pos += best.length - best.back
 			e.litStart = e.pos
@@ -321,20 +414,42 @@ func (e *deltaEncoder) indexTargetRange(from, to int) {
 // candidates forwards and backwards.
 func (e *deltaEncoder) bestMatch(h uint32) match {
 	var best match
-	e.scanCandidates(e.baseIdx.lookup(h), &best)
+	e.scanChain(e.baseIdx, h, &best)
 	if e.targetIdx != nil {
-		e.scanCandidates(e.targetIdx.lookup(h), &best)
+		e.scanChain(e.targetIdx, h, &best)
 	}
 	return best
 }
 
-func (e *deltaEncoder) scanCandidates(chain []int32, best *match) {
-	for _, c := range chain {
-		m := e.extend(int(c))
-		if m.length > best.length {
+// scanChain walks at most maxChain candidates for h, newest-first, keeping
+// the best per better's order-independent criterion.
+func (e *deltaEncoder) scanChain(idx *chunkIndex, h uint32, best *match) {
+	pos := idx.head[h&idx.mask]
+	for n := 0; pos >= 0 && n < idx.maxChain; n++ {
+		if m := e.extend(int(pos)); better(m, *best) {
 			*best = m
 		}
+		pos = idx.prev[pos-idx.bias]
 	}
+}
+
+// better reports whether m improves on best. Longer matches win; ties go to
+// the smaller virtual-source start, then the smaller backward extension.
+// Because ties never depend on which candidate was examined first, the
+// chosen match is a function of the candidate set alone — chain-array and
+// map-based indexes over the same positions produce byte-identical deltas,
+// which is what the differential tests assert.
+func better(m, best match) bool {
+	if m.length != best.length {
+		return m.length > best.length
+	}
+	if m.length == 0 {
+		return false
+	}
+	if m.start != best.start {
+		return m.start < best.start
+	}
+	return m.back < best.back
 }
 
 // srcByte returns the byte at virtual-source offset i: the base followed by
