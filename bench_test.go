@@ -481,6 +481,73 @@ func monotonic() func() time.Time {
 	}
 }
 
+// BenchmarkProcessTracing measures the observability tentpole's overhead:
+// the warm delta-serving path with span tracing off (the default, which
+// must cost nothing) versus on (spans + per-stage histograms). CI archives
+// the pair in BENCH_obs.json so tracer-overhead regressions are diffable.
+func BenchmarkProcessTracing(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "off"
+		if enabled {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng, err := core.NewEngine(core.Config{
+				Anon:     anonymize.Config{M: 1, N: 2},
+				Selector: basefile.Config{SampleProb: -1},
+				Now:      monotonic(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			site := origin.NewSite(origin.Config{
+				Host:          "www.trace.com",
+				Depts:         []origin.Dept{{Name: "catalog", Items: 2}},
+				TemplateBytes: 30000,
+				ItemBytes:     3000,
+				ChurnBytes:    1500,
+				Seed:          7777,
+			})
+			const url = "www.trace.com/catalog/0"
+			var resp core.Response
+			for u := 0; u < 4; u++ {
+				doc, err := site.Render("catalog", 0, "", u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				resp, err = eng.Process(core.Request{URL: url, UserID: fmt.Sprintf("warm%d", u), Doc: doc})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if resp.LatestVersion == 0 {
+				b.Fatal("no distributable base after warmup")
+			}
+			doc, err := site.Render("catalog", 0, "", 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := core.Request{
+				URL: url, UserID: "bench", Doc: doc,
+				HaveClassID: resp.ClassID, HaveVersion: resp.LatestVersion,
+			}
+			eng.SetTracing(enabled)
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				resp, err := eng.Process(req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Kind != core.KindDelta {
+					b.Fatalf("expected delta response, got %v", resp.Kind)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkUserLatency reproduces the abstract's headline claim — latency
 // perceived by most users improves by ~10x on average over low-bandwidth
 // links — and reports the modeled per-request speedup distribution.

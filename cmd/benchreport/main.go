@@ -6,6 +6,11 @@
 //
 //	go test -bench 'BenchmarkDeltaGeneration$' -benchmem . | benchreport -out BENCH_encode.json
 //	benchreport -in bench.txt -out BENCH_encode.json
+//	benchreport -in encode.txt -in obs.txt -out BENCH_all.json
+//
+// -in may repeat; the inputs are parsed in order and merged into one report
+// (header lines win first-come, results concatenate), so CI can fold several
+// bench invocations into a single artifact.
 //
 // The parser understands the standard benchmark result line:
 //
@@ -62,29 +67,44 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
+// inFiles collects repeated -in flags.
+type inFiles []string
+
+func (f *inFiles) String() string     { return strings.Join(*f, ",") }
+func (f *inFiles) Set(v string) error { *f = append(*f, v); return nil }
+
 func run(args []string, stdin io.Reader) error {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
-	var (
-		in  = fs.String("in", "", "bench output file to parse (default: stdin)")
-		out = fs.String("out", "", "JSON report path (default: stdout)")
-	)
+	var in inFiles
+	fs.Var(&in, "in", "bench output file to parse; repeatable, inputs merge in order (default: stdin)")
+	out := fs.String("out", "", "JSON report path (default: stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	src := stdin
-	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
+	var rep *Report
+	if len(in) == 0 {
+		var err error
+		if rep, err = parse(stdin); err != nil {
 			return err
 		}
-		defer f.Close()
-		src = f
-	}
-
-	rep, err := parse(src)
-	if err != nil {
-		return err
+	} else {
+		rep = &Report{}
+		for _, path := range in {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			part, err := parse(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if len(part.Results) == 0 {
+				return fmt.Errorf("%s: no benchmark results found", path)
+			}
+			rep.merge(part)
+		}
 	}
 	if len(rep.Results) == 0 {
 		return fmt.Errorf("no benchmark results found in input")
@@ -100,6 +120,21 @@ func run(args []string, stdin io.Reader) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// merge folds another parsed input into the report: header fields keep the
+// first non-empty value seen, result lists concatenate in input order.
+func (r *Report) merge(other *Report) {
+	if r.Goos == "" {
+		r.Goos = other.Goos
+	}
+	if r.Goarch == "" {
+		r.Goarch = other.Goarch
+	}
+	if r.Pkg == "" {
+		r.Pkg = other.Pkg
+	}
+	r.Results = append(r.Results, other.Results...)
 }
 
 // parse reads `go test -bench` text output and extracts every result line.

@@ -126,3 +126,47 @@ func TestRunFailsOnEmptyInput(t *testing.T) {
 		t.Fatal("run succeeded on input with no benchmark results")
 	}
 }
+
+func TestRunMergesMultipleInputs(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	out := filepath.Join(dir, "BENCH_all.json")
+	if err := os.WriteFile(a, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second := "goos: plan9\nBenchmarkTracing/off-8   500   2000 ns/op\nBenchmarkTracing/on-8   400   2500 ns/op\n"
+	if err := os.WriteFile(b, []byte(second), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", a, "-in", b, "-out", out}, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 {
+		t.Errorf("merged %d results, want 4 + 2", len(rep.Results))
+	}
+	// Header fields are first-come: sampleBench's goos wins over plan9.
+	if rep.Goos == "plan9" {
+		t.Errorf("goos = %q, later input overwrote the first header", rep.Goos)
+	}
+	if rep.Results[4].Name != "BenchmarkTracing/off" {
+		t.Errorf("result order not preserved across inputs: %+v", rep.Results[4])
+	}
+
+	// A results-free input fails the merge loudly.
+	empty := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(empty, []byte("PASS\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", a, "-in", empty}, nil); err == nil {
+		t.Error("merge accepted an input with no benchmark results")
+	}
+}

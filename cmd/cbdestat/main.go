@@ -1,0 +1,176 @@
+// Command cbdestat snapshots a running delta-server's observability
+// endpoints: the global counter dump, the per-class stats table, and the
+// Prometheus exposition.
+//
+// Usage:
+//
+//	cbdestat -server http://localhost:8080            # global + per-class table
+//	cbdestat -server http://localhost:8080 -class ID  # one class as JSON
+//	cbdestat -server http://localhost:8080 -metrics   # raw exposition dump
+//	cbdestat -server http://localhost:8080 -check     # validate exposition (CI)
+//
+// -check fetches /_cbde/metrics, parses it as Prometheus text format, and
+// exits non-zero if it does not parse or lacks the core CBDE series; CI's
+// smoke job runs it against a freshly loaded stack.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"cbde/internal/core"
+	"cbde/internal/deltahttp"
+	"cbde/internal/metrics"
+)
+
+// coreSeries are the series -check requires; they cover the acceptance
+// criteria (per-class delta hits, bytes saved, per-stage latency) plus the
+// legacy global counters.
+var coreSeries = []string{
+	"cbde_class_requests_total",
+	"cbde_class_delta_hits_total",
+	"cbde_class_bytes_in_total",
+	"cbde_class_bytes_shipped_total",
+	"cbde_bytes_saved_total",
+	"cbde_classes",
+	"cbde_stage_duration_seconds_bucket",
+	"cbde_stage_duration_seconds_sum",
+	"cbde_stage_duration_seconds_count",
+	"cbde_process_duration_seconds_bucket",
+	"requests",
+	"bytes_direct",
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatalf("cbdestat: %v", err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cbdestat", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "http://localhost:8080", "delta-server base URL")
+		class   = fs.String("class", "", "dump one class's stats as JSON")
+		rawMet  = fs.Bool("metrics", false, "dump the raw Prometheus exposition")
+		check   = fs.Bool("check", false, "validate the exposition and core series; exit non-zero on failure")
+		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	switch {
+	case *check:
+		return checkMetrics(client, *server, out)
+	case *rawMet:
+		body, err := fetch(client, *server+deltahttp.MetricsPath)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
+	case *class != "":
+		body, err := fetch(client, *server+deltahttp.StatsPath+"?class="+url.QueryEscape(*class))
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
+	default:
+		return snapshot(client, *server, out)
+	}
+}
+
+func fetch(client *http.Client, u string) ([]byte, error) {
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", u, resp.Status, body)
+	}
+	return body, nil
+}
+
+// snapshot prints the global counter dump followed by a per-class table.
+func snapshot(client *http.Client, server string, out io.Writer) error {
+	global, err := fetch(client, server+deltahttp.StatsPath)
+	if err != nil {
+		return err
+	}
+	out.Write(global)
+
+	body, err := fetch(client, server+deltahttp.StatsPath+"?class=*")
+	if err != nil {
+		return err
+	}
+	var rows []core.ClassStats
+	if err := json.Unmarshal(body, &rows); err != nil {
+		return fmt.Errorf("parse per-class stats: %w", err)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(out, "\nno classes yet")
+		return nil
+	}
+	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON")
+	for _, r := range rows {
+		// Completed anonymization processes are discarded by the engine,
+		// so inactive classes show "-" rather than guessing done vs off.
+		anon := "-"
+		if r.AnonActive {
+			anon = fmt.Sprintf("%d/%d", r.AnonDone, r.AnonNeeded)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\tv%d\t%s\t%s\n",
+			r.ID, r.Requests, r.DeltaHits, r.DeltaMisses,
+			r.BytesIn, r.BytesShipped, 100*r.Savings(),
+			r.BaseVersion, r.BaseAge.Round(time.Second), anon)
+	}
+	return tw.Flush()
+}
+
+// checkMetrics validates the exposition endpoint for CI.
+func checkMetrics(client *http.Client, server string, out io.Writer) error {
+	resp, err := client.Get(server + deltahttp.MetricsPath)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", deltahttp.MetricsPath, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ExpositionContentType {
+		return fmt.Errorf("Content-Type = %q, want %q", ct, metrics.ExpositionContentType)
+	}
+	exp, err := metrics.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("exposition does not parse: %w", err)
+	}
+	var missing []string
+	for _, s := range coreSeries {
+		if !exp.Series(s) {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("exposition missing core series: %v", missing)
+	}
+	fmt.Fprintf(out, "ok: %d samples, %d typed families, all %d core series present\n",
+		len(exp.Samples), len(exp.Types), len(coreSeries))
+	return nil
+}

@@ -15,7 +15,9 @@ import (
 	"flag"
 	"io/fs"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,10 @@ func run(args []string) error {
 
 		stateFile = fs.String("state", "", "persist engine state to this file (load at start, save on shutdown)")
 		stateSave = fs.Duration("state-save-every", 5*time.Minute, "periodic state-save interval (with -state)")
+
+		trace       = fs.Bool("trace", false, "record per-stage pipeline spans (feeds cbde_stage_duration_seconds)")
+		logRequests = fs.Bool("log-requests", false, "emit a structured log line per document request")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +99,8 @@ func run(args []string) error {
 		return err
 	}
 
+	eng.SetTracing(*trace)
+
 	if *stateFile != "" {
 		if err := loadState(eng, *stateFile); err != nil {
 			return err
@@ -104,12 +112,25 @@ func run(args []string) error {
 	if *publicHost != "" {
 		opts = append(opts, deltaserver.WithPublicHost(*publicHost))
 	}
+	if *logRequests {
+		opts = append(opts, deltaserver.WithRequestLog(
+			slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
 	srv, err := deltaserver.New(*originURL, eng, opts...)
 	if err != nil {
 		return err
 	}
 
-	log.Printf("deltaserver: %s mode, fronting %s on %s (stats at /_cbde/stats)", m, *originURL, *addr)
+	if *pprofAddr != "" {
+		// The pprof import registers on http.DefaultServeMux; serve that
+		// mux on its own listener so profiling never shares the data port.
+		go func() {
+			log.Printf("deltaserver: pprof on %s", *pprofAddr)
+			log.Printf("deltaserver: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
+	log.Printf("deltaserver: %s mode, fronting %s on %s (stats at /_cbde/stats, metrics at /_cbde/metrics)", m, *originURL, *addr)
 	return http.ListenAndServe(*addr, srv)
 }
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -44,6 +45,7 @@ func run(args []string) error {
 		workFactor    = fs.Duration("work-factor", 0, "simulated per-request application work")
 		tickEvery     = fs.Duration("tick-every", 0, "advance content every interval (0 = never)")
 		seed          = fs.Uint64("seed", 1, "content seed")
+		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +77,13 @@ func run(args []string) error {
 			for range time.Tick(*tickEvery) {
 				site.Advance(1)
 			}
+		}()
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("origind: pprof on %s", *pprofAddr)
+			log.Printf("origind: pprof server: %v", http.ListenAndServe(*pprofAddr, nil))
 		}()
 	}
 

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"cbde/internal/metrics"
+)
+
+// ClassStats is one class's row in the engine's per-class stats table: the
+// live counterpart of the paper's per-class accounting (Tables II-IV) —
+// delta hit rate, bytes in versus bytes shipped, the age of the base-file
+// clients are holding, and how far anonymization has progressed.
+type ClassStats struct {
+	// ID is the class (or document, in classless modes) key.
+	ID string `json:"id"`
+
+	// Requests counts requests routed to the class.
+	Requests int64 `json:"requests"`
+	// DeltaHits counts delta responses; DeltaMisses counts full responses
+	// (no usable base-file, oversized delta, or anonymization pending).
+	DeltaHits   int64 `json:"deltaHits"`
+	DeltaMisses int64 `json:"deltaMisses"`
+
+	// BytesIn is document bytes fetched from the origin for the class;
+	// BytesShipped is payload bytes actually sent to clients. Their ratio
+	// is the class's live Table II row.
+	BytesIn      int64 `json:"bytesIn"`
+	BytesShipped int64 `json:"bytesShipped"`
+
+	// BaseVersion is the newest distributable base-file version (0 = none
+	// yet); BaseAge is how long it has been serving; BaseBytes its size.
+	BaseVersion int           `json:"baseVersion"`
+	BaseAge     time.Duration `json:"baseAge"`
+	BaseBytes   int           `json:"baseBytes"`
+
+	// AnonActive reports an anonymization process in flight; AnonDone and
+	// AnonNeeded are its comparison progress (Section V's N). Both zero
+	// when anonymization is disabled or idle.
+	AnonActive bool `json:"anonActive"`
+	AnonDone   int  `json:"anonDone"`
+	AnonNeeded int  `json:"anonNeeded"`
+}
+
+// Savings is the class's bandwidth savings fraction (1 - shipped/in), or 0
+// before any traffic.
+func (s ClassStats) Savings() float64 {
+	if s.BytesIn == 0 {
+		return 0
+	}
+	return 1 - float64(s.BytesShipped)/float64(s.BytesIn)
+}
+
+// classStats builds the stats row for one class. Takes cs.mu briefly.
+func (e *Engine) classStats(cs *classState, now time.Time) ClassStats {
+	st := ClassStats{
+		ID:          cs.id,
+		Requests:    cs.ctr.requests.Value(),
+		DeltaHits:   cs.ctr.deltaHits.Value(),
+		DeltaMisses: cs.ctr.deltaMisses.Value(),
+
+		BytesIn:      cs.ctr.bytesIn.Value(),
+		BytesShipped: cs.ctr.bytesShipped.Value(),
+	}
+	cs.mu.RLock()
+	st.BaseVersion = cs.distVersion
+	if cs.distVersion != 0 {
+		if bv, ok := cs.bases[cs.distVersion]; ok {
+			st.BaseBytes = len(bv.bytes)
+		}
+		if !cs.installedAt.IsZero() {
+			if age := now.Sub(cs.installedAt); age > 0 {
+				st.BaseAge = age
+			}
+		}
+	}
+	if cs.anonProc != nil {
+		st.AnonActive = true
+		st.AnonDone, st.AnonNeeded = cs.anonProc.Progress()
+	}
+	cs.mu.RUnlock()
+	return st
+}
+
+// ClassStats returns the per-class stats row for classID. ok is false for
+// an unknown class.
+func (e *Engine) ClassStats(classID string) (ClassStats, bool) {
+	cs, ok := e.lookup(classID)
+	if !ok {
+		return ClassStats{}, false
+	}
+	return e.classStats(cs, e.cfg.Now()), true
+}
+
+// AllClassStats returns every class's stats row, sorted by class ID so
+// output is stable for dumps and diffs.
+func (e *Engine) AllClassStats() []ClassStats {
+	now := e.cfg.Now()
+	states := e.states()
+	out := make([]ClassStats, 0, len(states))
+	for _, cs := range states {
+		out = append(out, e.classStats(cs, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// collect contributes the computed metric series — values derived from live
+// engine state rather than accumulated counters — to every exposition
+// scrape: global bytes saved and class count, plus per-class base
+// version/age and anonymization progress.
+func (e *Engine) collect(c *metrics.Collection) {
+	saved := e.ctr.bytesDirect.Value() - e.ctr.bytesDelta.Value() - e.ctr.bytesFull.Value()
+	c.Counter("cbde_bytes_saved_total",
+		"Client-facing bytes saved versus serving every document in full.",
+		nil, float64(saved))
+
+	now := e.cfg.Now()
+	states := e.states()
+	c.Gauge("cbde_classes", "Classes currently tracked by the engine.",
+		nil, float64(len(states)))
+	for _, cs := range states {
+		st := e.classStats(cs, now)
+		label := []metrics.Label{{Name: "class", Value: st.ID}}
+		c.Gauge("cbde_class_base_version",
+			"Newest distributable base-file version for the class.",
+			label, float64(st.BaseVersion))
+		c.Gauge("cbde_class_base_age_seconds",
+			"Age of the class's distributable base-file.",
+			label, st.BaseAge.Seconds())
+		if st.AnonNeeded > 0 {
+			c.Gauge("cbde_class_anon_progress",
+				"Comparisons completed over comparisons required by the running anonymization process.",
+				label, float64(st.AnonDone)/float64(st.AnonNeeded))
+		}
+	}
+}

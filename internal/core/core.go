@@ -31,6 +31,7 @@ import (
 	"cbde/internal/classify"
 	"cbde/internal/gzipx"
 	"cbde/internal/metrics"
+	"cbde/internal/obs"
 	"cbde/internal/urlparts"
 	"cbde/internal/vcdiff"
 	"cbde/internal/vdelta"
@@ -94,6 +95,10 @@ type Config struct {
 	// KeepBaseVersions is how many distributed base-file versions per class
 	// stay available for clients that hold an older version. Default 2.
 	KeepBaseVersions int
+	// Tracing starts the engine with pipeline span tracing enabled (see
+	// internal/obs). Default off; flip at runtime with SetTracing. Disabled
+	// tracing costs one atomic load per request and zero allocations.
+	Tracing bool
 	// Now supplies time, for deterministic tests. Default time.Now.
 	Now func() time.Time
 }
@@ -234,6 +239,10 @@ type Response struct {
 	// BasicRebase reports that this request triggered a basic-rebase
 	// because its delta came out too large.
 	BasicRebase bool
+	// Trace is the request's pipeline span summary, non-nil only when the
+	// engine's tracer is enabled. The delta-server folds it into its
+	// structured request log.
+	Trace *obs.Summary
 }
 
 // WireSize returns the number of payload bytes this response puts on the
@@ -283,12 +292,29 @@ type classState struct {
 	// Distributable (anonymized, for class-based mode) base-file versions.
 	// bases[v] exists for the KeepBaseVersions most recent versions.
 	bases       map[int]*baseVersion
-	distVersion int // newest distributable version; 0 = none yet
+	distVersion int       // newest distributable version; 0 = none yet
+	installedAt time.Time // when distVersion was installed (zero = never)
 
 	// anonProc anonymizes the selector's base at selectorVersion
 	// anonSource; nil when idle or anonymization is disabled.
 	anonProc   *anonymize.Process
 	anonSource int
+
+	// ctr are the class's per-class serving counters, resolved from the
+	// engine's labeled metric families once at creation so the request hot
+	// path only touches atomics.
+	ctr classCounters
+}
+
+// classCounters is the per-class stats table's accumulating half; the
+// computed half (base version/age, anonymization progress) is read live by
+// ClassStats and the exposition collector.
+type classCounters struct {
+	requests     *metrics.Counter
+	deltaHits    *metrics.Counter // delta responses served
+	deltaMisses  *metrics.Counter // full responses served (no usable base)
+	bytesIn      *metrics.Counter // document bytes entering from the origin
+	bytesShipped *metrics.Counter // payload bytes leaving to clients
 }
 
 // classShardCount sizes the engine's sharded class table. A power of two so
@@ -351,6 +377,21 @@ type Engine struct {
 
 	reg *metrics.Registry
 	ctr hotCounters
+
+	// tracer issues pipeline span traces (internal/obs); stageHist and
+	// procHist are the pre-resolved histograms finished traces feed, so a
+	// traced request never takes the registry's name-lookup lock.
+	tracer    *obs.Tracer
+	stageHist [obs.NumStages]*metrics.Histogram
+	procHist  *metrics.Histogram
+
+	// Per-class labeled metric families; each classState resolves its
+	// children once at creation.
+	famClassRequests *metrics.CounterFamily
+	famClassHits     *metrics.CounterFamily
+	famClassMisses   *metrics.CounterFamily
+	famClassBytesIn  *metrics.CounterFamily
+	famClassShipped  *metrics.CounterFamily
 }
 
 // encodeBuf is the pooled per-request encode scratch. The uncompressed
@@ -396,11 +437,49 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Mode == ModeClassBased {
 		e.classify = classify.NewManager(cfg.Classify)
 	}
+
+	// latencyBuckets spans the pipeline's realistic range: stages run tens
+	// of microseconds to single-digit milliseconds (the paper's 6-8 ms
+	// delta-generation budget sits mid-range), with headroom for contended
+	// or pathological requests.
+	latencyBuckets := []float64{
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+	}
+	stageFam := e.reg.HistogramFamily("cbde_stage_duration_seconds",
+		"Pipeline stage latency per traced request.", []string{"stage"}, latencyBuckets...)
+	for _, st := range obs.Stages() {
+		// Pre-create every stage child so the series exist from boot, even
+		// before tracing is switched on.
+		e.stageHist[st] = stageFam.With(st.String())
+	}
+	e.procHist = e.reg.Histogram("cbde_process_duration_seconds", latencyBuckets...)
+
+	e.famClassRequests = e.reg.CounterFamily("cbde_class_requests_total",
+		"Requests routed to the class.", "class")
+	e.famClassHits = e.reg.CounterFamily("cbde_class_delta_hits_total",
+		"Delta responses served for the class.", "class")
+	e.famClassMisses = e.reg.CounterFamily("cbde_class_delta_misses_total",
+		"Full responses served for the class (no usable base-file).", "class")
+	e.famClassBytesIn = e.reg.CounterFamily("cbde_class_bytes_in_total",
+		"Document bytes fetched from the origin for the class.", "class")
+	e.famClassShipped = e.reg.CounterFamily("cbde_class_bytes_shipped_total",
+		"Payload bytes shipped to clients for the class.", "class")
+	e.reg.RegisterCollector(e.collect)
+
+	e.tracer = obs.New(nil)
+	e.tracer.SetEnabled(cfg.Tracing)
 	return e, nil
 }
 
 // Metrics exposes the engine's metrics registry.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// SetTracing switches pipeline span tracing on or off at runtime.
+func (e *Engine) SetTracing(enabled bool) { e.tracer.SetEnabled(enabled) }
+
+// TracingEnabled reports whether pipeline span tracing is on.
+func (e *Engine) TracingEnabled() bool { return e.tracer.Enabled() }
 
 // state returns (creating if needed) the classState for key. The fast path
 // is a shard read lock; creation re-checks under the write lock.
@@ -422,6 +501,13 @@ func (e *Engine) state(key string, class *classify.Class) *classState {
 		class:    class,
 		selector: basefile.NewSelector(e.cfg.Selector),
 		bases:    make(map[int]*baseVersion),
+		ctr: classCounters{
+			requests:     e.famClassRequests.With(key),
+			deltaHits:    e.famClassHits.With(key),
+			deltaMisses:  e.famClassMisses.With(key),
+			bytesIn:      e.famClassBytesIn.With(key),
+			bytesShipped: e.famClassShipped.With(key),
+		},
 	}
 	sh.classes[key] = cs
 	return cs
@@ -463,38 +549,75 @@ func (e *Engine) Process(req Request) (Response, error) {
 		return Response{}, ErrNoDocument
 	}
 	now := e.cfg.Now()
+	// tr is nil when tracing is disabled; every tr method below is then a
+	// no-op, so the untraced hot path pays one atomic load and no clock
+	// reads or allocations.
+	tr := e.tracer.Start()
 
+	t0 := tr.Now()
 	cs, err := e.route(req)
 	if err != nil {
+		tr.Discard()
 		return Response{}, err
 	}
+	tr.Record(obs.StageRoute, t0, int64(len(req.Doc)))
 	// Accounting happens only after routing succeeds: an unroutable request
 	// produces no response and must not inflate the capacity counters.
 	e.ctr.requests.Inc()
 	e.ctr.bytesDirect.Add(int64(len(req.Doc)))
+	cs.ctr.requests.Inc()
+	cs.ctr.bytesIn.Add(int64(len(req.Doc)))
 
 	// Mutation phase: feed the document to the selector (Section IV), drive
 	// the anonymization pipeline (Section V), and snapshot what the encode
 	// needs.
+	t0 = tr.Now()
 	cs.mu.Lock()
 	ev := cs.selector.ObserveTagged(req.Doc, req.UserID, now)
 	if ev.GroupRebase {
 		e.ctr.rebaseGroup.Inc()
 	}
+	tr.Record(obs.StageSelect, t0, 0)
+	t0 = tr.Now()
 	e.advanceAnonymization(cs, req, now)
+	if !e.cfg.DisableAnonymization {
+		tr.Record(obs.StageAnon, t0, 0)
+	}
+	t0 = tr.Now()
 	snap := cs.snapshotLocked(req)
 	cs.mu.Unlock()
+	tr.Record(obs.StageSelect, t0, 0)
 
-	resp := e.respond(cs, snap, req, now)
+	resp := e.respond(cs, snap, req, now, tr)
 	resp.ClassID = cs.id
 	if resp.Kind == KindDelta {
 		e.ctr.responsesDelta.Inc()
 		e.ctr.bytesDelta.Add(int64(len(resp.Payload)))
+		cs.ctr.deltaHits.Inc()
+		cs.ctr.bytesShipped.Add(int64(len(resp.Payload)))
 	} else {
 		e.ctr.responsesFull.Inc()
 		e.ctr.bytesFull.Add(int64(len(req.Doc)))
+		cs.ctr.deltaMisses.Inc()
+		cs.ctr.bytesShipped.Add(int64(len(req.Doc)))
+	}
+	if sum := tr.Finish(); sum != nil {
+		e.observeTrace(sum)
+		resp.Trace = sum
 	}
 	return resp, nil
+}
+
+// observeTrace folds one finished trace into the per-stage latency
+// histograms. Stages with no recorded cost are skipped, so e.g. the encode
+// series reflects only requests that actually attempted a delta.
+func (e *Engine) observeTrace(sum *obs.Summary) {
+	e.procHist.Observe(sum.Total.Seconds())
+	for _, st := range obs.Stages() {
+		if sp := sum.Stages[st]; sp.Dur > 0 || sp.Bytes > 0 {
+			e.stageHist[st].Observe(sp.Dur.Seconds())
+		}
+	}
 }
 
 // route finds or creates the classState for the request.
@@ -532,7 +655,7 @@ func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time
 	if e.cfg.DisableAnonymization {
 		// Distribute selector bases directly.
 		if version > cs.distVersion {
-			e.installBase(cs, version, base)
+			e.installBase(cs, version, base, now)
 		}
 		return
 	}
@@ -560,15 +683,16 @@ func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time
 	}
 	cs.anonProc = nil
 	e.ctr.anonCompleted.Inc()
-	e.installBase(cs, cs.anonSource, anon)
+	e.installBase(cs, cs.anonSource, anon, now)
 }
 
 // installBase records base as the class's distributable version v and
 // prunes old versions. Callers hold cs.mu; base must not be mutated after
 // the call (it becomes the immutable payload of a baseVersion).
-func (e *Engine) installBase(cs *classState, v int, base []byte) {
+func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) {
 	cs.bases[v] = &baseVersion{bytes: base}
 	cs.distVersion = v
+	cs.installedAt = now
 	if cs.class != nil {
 		cs.class.SetMatchBase(base)
 	}
@@ -621,7 +745,7 @@ func (e *Engine) latestVersion(cs *classState) int {
 //
 // The vdelta path encodes into a pooled scratch buffer and gzips from it,
 // so a steady-state delta response allocates only the returned payload.
-func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now time.Time) Response {
+func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now time.Time, tr *obs.Trace) Response {
 	if snap.base == nil {
 		return Response{Kind: KindFull, LatestVersion: snap.distVersion}
 	}
@@ -633,6 +757,7 @@ func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now t
 	var delta []byte
 	var err error
 	var scratch *encodeBuf // non-nil when delta lives in pooled memory
+	t0 := tr.Now()
 	if format == FormatVCDIFF {
 		delta, err = vcdiff.Encode(snap.base.bytes, req.Doc)
 	} else {
@@ -643,6 +768,7 @@ func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now t
 		delta, err = e.coder.EncodeIndexedInto(snap.base.vdeltaIndex(e.coder), req.Doc, scratch.buf)
 		scratch.buf = delta[:0] // retain grown capacity whatever path follows
 	}
+	tr.Record(obs.StageEncode, t0, int64(len(delta)))
 	release := func() {
 		if scratch != nil {
 			e.encBufs.Put(scratch)
@@ -660,7 +786,10 @@ func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now t
 	payload := delta
 	gzipped := false
 	if !e.cfg.GzipOff {
-		if c := gzipx.Compress(delta); len(c) < len(delta) {
+		t0 = tr.Now()
+		c := gzipx.Compress(delta)
+		tr.Record(obs.StageGzip, t0, int64(len(c)))
+		if len(c) < len(delta) {
 			payload, gzipped = c, true
 		}
 	}
@@ -697,7 +826,7 @@ func (e *Engine) basicRebase(cs *classState, snap encodeSnapshot, req Request, n
 	v := cs.selector.BasicRebase(req.Doc, req.UserID, now)
 	e.ctr.rebaseBasic.Inc()
 	if e.cfg.DisableAnonymization {
-		e.installBase(cs, v, append([]byte(nil), req.Doc...))
+		e.installBase(cs, v, append([]byte(nil), req.Doc...), now)
 	} else {
 		cs.anonProc = anonymize.NewProcess(req.Doc, req.UserID, e.cfg.Anon)
 		cs.anonSource = v

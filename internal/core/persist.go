@@ -128,6 +128,11 @@ func (e *Engine) LoadState(r io.Reader) error {
 			cs.bases[v] = &baseVersion{bytes: append([]byte(nil), b...)}
 		}
 		cs.distVersion = scs.DistVersion
+		if cs.distVersion != 0 {
+			// The true install time was not persisted; restart resets the
+			// base's age clock, which per-class stats report from.
+			cs.installedAt = now
+		}
 		if _, ok := cs.bases[cs.distVersion]; cs.distVersion != 0 && !ok {
 			cs.mu.Unlock()
 			return fmt.Errorf("core: load state: class %q distributes missing version %d", scs.ID, cs.distVersion)

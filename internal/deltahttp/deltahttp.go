@@ -76,8 +76,13 @@ const (
 	// BasePathPrefix prefixes the cachable base-file distribution
 	// endpoint: GET /_cbde/base/<escaped-class>/<version>.
 	BasePathPrefix = "/_cbde/base/"
-	// StatsPath serves the delta-server's metrics snapshot.
+	// StatsPath serves the delta-server's stats snapshot: a plain-text
+	// counter dump by default, or per-class JSON rows with ?class=<id>
+	// (?class=* for every class).
 	StatsPath = "/_cbde/stats"
+	// MetricsPath serves the registry as Prometheus text exposition
+	// (version 0.0.4), the endpoint a real scraper points at.
+	MetricsPath = "/_cbde/metrics"
 )
 
 // Held is one (class, version) pair a client advertises.

@@ -11,8 +11,10 @@
 package deltaserver
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -22,6 +24,8 @@ import (
 
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
+	"cbde/internal/metrics"
+	"cbde/internal/obs"
 )
 
 // Option configures a Server.
@@ -54,6 +58,14 @@ func WithCookieIdentity() Option {
 	return func(s *Server) { s.assignCookies = true }
 }
 
+// WithRequestLog makes the server emit one structured log record per
+// document request: a monotone request ID, route, user, response kind and
+// wire size, total duration, and — when the engine's tracer is enabled —
+// the per-stage span summary.
+func WithRequestLog(l *slog.Logger) Option {
+	return func(s *Server) { s.log = l }
+}
+
 // Server is the delta-server: an http.Handler fronting one origin.
 type Server struct {
 	origin        *url.URL
@@ -63,6 +75,8 @@ type Server struct {
 	baseMaxAge    time.Duration
 	assignCookies bool
 	uidCounter    atomic.Uint64
+	log           *slog.Logger
+	reqSeq        atomic.Uint64
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -97,7 +111,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case strings.HasPrefix(r.URL.Path, deltahttp.BasePathPrefix):
 		s.serveBase(w, r)
 	case r.URL.Path == deltahttp.StatsPath:
-		s.serveStats(w)
+		s.serveStats(w, r)
+	case r.URL.Path == deltahttp.MetricsPath:
+		s.serveMetrics(w)
 	case r.Method != http.MethodGet:
 		// Only GET responses are delta-encoded; everything else passes
 		// through untouched (transparency).
@@ -156,8 +172,26 @@ func (s *Server) serveBase(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(base)
 }
 
-// serveStats dumps engine counters.
-func (s *Server) serveStats(w http.ResponseWriter) {
+// serveStats dumps engine counters (plain text), or serves per-class stats
+// rows as JSON when the class query parameter is present: ?class=<id> for
+// one class, ?class=* for every class sorted by ID.
+func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
+	if class := r.URL.Query().Get("class"); class != "" {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if class == "*" {
+			_ = enc.Encode(s.engine.AllClassStats())
+			return
+		}
+		st, ok := s.engine.ClassStats(class)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown class %q", class), http.StatusNotFound)
+			return
+		}
+		_ = enc.Encode(st)
+		return
+	}
 	st := s.engine.Stats()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "mode %s\nrequests %d\nfull %d\ndelta %d\nbytes.direct %d\nbytes.delta %d\nbytes.full %d\nclasses %d\nstorage %d\nsavings %.4f\n",
@@ -167,16 +201,72 @@ func (s *Server) serveStats(w http.ResponseWriter) {
 	fmt.Fprintln(w, s.engine.Metrics().Snapshot())
 }
 
+// serveMetrics serves the engine's registry as Prometheus text exposition —
+// the endpoint a scraper points at.
+func (s *Server) serveMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", metrics.ExpositionContentType)
+	_ = s.engine.Metrics().Expose(w)
+}
+
+// reqRecord accumulates what one document request's log line reports.
+type reqRecord struct {
+	id      uint64
+	start   time.Time
+	outcome string // delta | full | passthrough | origin-error | engine-error
+	class   string
+	user    string
+	docLen  int
+	wire    int // payload bytes on the client-facing link
+	trace   *obs.Summary
+}
+
+// emit writes the record as one structured slog line.
+func (s *Server) emit(r *http.Request, rec *reqRecord) {
+	attrs := []slog.Attr{
+		slog.Uint64("rid", rec.id),
+		slog.String("path", r.URL.RequestURI()),
+		slog.String("outcome", rec.outcome),
+		slog.Duration("dur", time.Since(rec.start)),
+		slog.Int("doc_bytes", rec.docLen),
+		slog.Int("wire_bytes", rec.wire),
+	}
+	if rec.user != "" {
+		attrs = append(attrs, slog.String("user", rec.user))
+	}
+	if rec.class != "" {
+		attrs = append(attrs, slog.String("class", rec.class))
+	}
+	if rec.trace != nil {
+		attrs = append(attrs, slog.String("spans", rec.trace.String()))
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
+}
+
 // serveDocument fetches the current snapshot from the origin and responds
 // with a delta or the full document.
 func (s *Server) serveDocument(w http.ResponseWriter, r *http.Request) {
+	var rec *reqRecord
+	if s.log != nil {
+		rec = &reqRecord{id: s.reqSeq.Add(1), start: time.Now(), outcome: "full"}
+		defer func() { s.emit(r, rec) }()
+	}
 	doc, contentType, status, err := s.fetchOrigin(r)
 	if err != nil {
+		if rec != nil {
+			rec.outcome = "origin-error"
+		}
 		http.Error(w, fmt.Sprintf("origin fetch failed: %v", err), http.StatusBadGateway)
 		return
 	}
+	if rec != nil {
+		rec.docLen = len(doc)
+		rec.wire = len(doc)
+	}
 	if status != http.StatusOK {
 		// Pass non-OK origin responses through untouched.
+		if rec != nil {
+			rec.outcome = "passthrough"
+		}
 		w.Header().Set("Content-Type", contentType)
 		w.WriteHeader(status)
 		_, _ = w.Write(doc)
@@ -212,13 +302,27 @@ func (s *Server) serveDocument(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if rec != nil {
+		rec.user = user
+	}
 	resp, err := s.engine.Process(req)
 	if err != nil {
 		// The engine could not handle the request (e.g. unparseable URL):
 		// stay transparent and serve the document.
+		if rec != nil {
+			rec.outcome = "engine-error"
+		}
 		w.Header().Set("Content-Type", contentType)
 		_, _ = w.Write(doc)
 		return
+	}
+	if rec != nil {
+		rec.class = resp.ClassID
+		rec.trace = resp.Trace
+		if resp.Kind == core.KindDelta {
+			rec.outcome = "delta"
+			rec.wire = len(resp.Payload)
+		}
 	}
 
 	h := w.Header()

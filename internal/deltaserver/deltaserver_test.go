@@ -30,7 +30,7 @@ func testSite() *origin.Site {
 }
 
 // newStack builds origin + delta-server test servers.
-func newStack(t *testing.T, cfg core.Config) (*origin.Site, *Server, *httptest.Server) {
+func newStack(t *testing.T, cfg core.Config, opts ...Option) (*origin.Site, *Server, *httptest.Server) {
 	t.Helper()
 	site := testSite()
 	originSrv := httptest.NewServer(site.Handler())
@@ -45,7 +45,7 @@ func newStack(t *testing.T, cfg core.Config) (*origin.Site, *Server, *httptest.S
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(originSrv.URL, eng, WithPublicHost("www.shop.com"))
+	srv, err := New(originSrv.URL, eng, append([]Option{WithPublicHost("www.shop.com")}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

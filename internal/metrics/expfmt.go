@@ -1,0 +1,277 @@
+// A strict-enough parser for the Prometheus text exposition format
+// (version 0.0.4). It exists so the CI smoke job and cmd/cbdestat can
+// verify that /_cbde/metrics actually parses as exposition text and carries
+// the series an operator's scraper would depend on — without importing a
+// Prometheus client library.
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of an exposition document.
+type ParsedSample struct {
+	// Name is the sample's metric name (for histograms this includes the
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the sample's label pairs in document order.
+	Labels []Label
+	// Value is the sample value.
+	Value float64
+}
+
+// Exposition is a parsed exposition document.
+type Exposition struct {
+	// Samples lists every sample line in document order.
+	Samples []ParsedSample
+	// Types maps metric family name to its declared # TYPE.
+	Types map[string]string
+}
+
+// Series reports whether the document contains at least one sample whose
+// name equals name (exact match, so histogram series are addressed as
+// name_bucket / name_sum / name_count).
+func (e *Exposition) Series(name string) bool {
+	for _, s := range e.Samples {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Label returns the value of the named label on sample s, if present.
+func (s ParsedSample) Label(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// ParseExposition parses (and thereby validates) a text exposition document.
+// It enforces the rules a real scraper cares about: metric-name and
+// label-name charsets, quoted and escaped label values, parseable sample
+// values, and # TYPE lines naming a known metric type. Unknown comment
+// lines (# anything) are ignored per the format.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, exp); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(exp.Samples) == 0 {
+		return nil, fmt.Errorf("exposition contains no samples")
+	}
+	return exp, nil
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+func parseComment(line string, exp *Exposition) error {
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if err := checkName(name); err != nil {
+			return err
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if prev, ok := exp.Types[name]; ok && prev != typ {
+			return fmt.Errorf("conflicting TYPE for %s: %s then %s", name, prev, typ)
+		}
+		exp.Types[name] = typ
+	}
+	// HELP and other comments carry free text; nothing to validate.
+	return nil
+}
+
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{label="value",...} value [timestamp]`.
+func parseSampleLine(line string) (ParsedSample, error) {
+	var s ParsedSample
+	rest := line
+
+	// Metric name runs until '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = rest[:end]
+	if err := checkName(s.Name); err != nil {
+		return s, err
+	}
+	rest = rest[end:]
+
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Labels = labels
+		rest = tail
+	}
+
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp: %w", line, err)
+		}
+	}
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseLabels parses a `{name="value",...}` block, handling \\, \" and \n
+// escapes inside quoted values. Returns the remaining tail after '}'.
+func parseLabels(in string) ([]Label, string, error) {
+	if !strings.HasPrefix(in, "{") {
+		return nil, in, fmt.Errorf("label block must start with '{'")
+	}
+	rest := in[1:]
+	var labels []Label
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, in, fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(rest[:eq])
+		if err := checkLabelName(name); err != nil {
+			return nil, in, err
+		}
+		rest = strings.TrimLeft(rest[eq+1:], " \t")
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, in, fmt.Errorf("label %s value not quoted", name)
+		}
+		value, tail, err := parseQuoted(rest)
+		if err != nil {
+			return nil, in, fmt.Errorf("label %s: %w", name, err)
+		}
+		labels = append(labels, Label{Name: name, Value: value})
+		rest = strings.TrimLeft(tail, " \t")
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		return nil, in, fmt.Errorf("expected ',' or '}' after label %s", name)
+	}
+}
+
+// parseQuoted consumes a leading double-quoted string with exposition
+// escapes, returning its unescaped value and the tail after the closing
+// quote.
+func parseQuoted(in string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(in); i++ {
+		switch c := in[i]; c {
+		case '\\':
+			if i+1 >= len(in) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			i++
+			switch in[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", in[i])
+			}
+		case '"':
+			return b.String(), in[i+1:], nil
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

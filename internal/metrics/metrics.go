@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -59,10 +60,17 @@ type Histogram struct {
 	n       int64
 	min     float64
 	max     float64
-	samples []float64 // reservoir for quantile estimates
+	samples []float64  // reservoir for quantile estimates
+	rng     *rand.Rand // reservoir replacement; seeded so runs reproduce
 }
 
 const histReservoirSize = 4096
+
+// histSeed seeds every histogram's reservoir PRNG. A fixed seed keeps the
+// experiment harness reproducible run-to-run while still giving each
+// observation stream an unbiased uniform sample (unlike a slot derived from
+// the running count, which correlates with periodic workloads).
+const histSeed = 0x9E3779B97F4A7C15
 
 // NewHistogram returns a histogram with the given ascending upper bucket
 // bounds. An implicit +Inf bucket is appended.
@@ -75,6 +83,7 @@ func NewHistogram(bounds ...float64) *Histogram {
 		counts: make([]int64, len(b)+1),
 		min:    math.Inf(1),
 		max:    math.Inf(-1),
+		rng:    rand.New(rand.NewPCG(histSeed, uint64(len(b)))),
 	}
 }
 
@@ -95,13 +104,12 @@ func (h *Histogram) Observe(v float64) {
 	if len(h.samples) < histReservoirSize {
 		h.samples = append(h.samples, v)
 	} else {
-		// Deterministic-enough reservoir: overwrite a pseudo-random slot
-		// derived from the running count so the harness stays reproducible.
-		slot := int(h.n*2654435761) % histReservoirSize
-		if slot < 0 {
-			slot = -slot
+		// Algorithm R reservoir sampling: after n observations every one of
+		// them had probability reservoirSize/n of being retained. The PRNG
+		// is per-histogram and fixed-seeded, so runs stay reproducible.
+		if j := h.rng.Int64N(h.n); j < histReservoirSize {
+			h.samples[j] = v
 		}
-		h.samples[slot] = v
 	}
 }
 
@@ -151,14 +159,19 @@ func (h *Histogram) Max() float64 {
 
 // Quantile returns an estimate of the q-th quantile (0 <= q <= 1) from the
 // sample reservoir, or 0 if there are no observations.
+//
+// Only the reservoir copy happens under the histogram mutex; the O(n log n)
+// sort and the interpolation run outside it, so hot-path Observe calls never
+// stall behind a stats scrape.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
+		h.mu.Unlock()
 		return 0
 	}
 	s := make([]float64, len(h.samples))
 	copy(s, h.samples)
+	h.mu.Unlock()
 	sort.Float64s(s)
 	if q <= 0 {
 		return s[0]
@@ -196,14 +209,21 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	counterFams map[string]*CounterFamily
+	gaugeFams   map[string]*GaugeFamily
+	histFams    map[string]*HistogramFamily
+	collectors  []func(c *Collection)
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		histograms:  make(map[string]*Histogram),
+		counterFams: make(map[string]*CounterFamily),
+		gaugeFams:   make(map[string]*GaugeFamily),
+		histFams:    make(map[string]*HistogramFamily),
 	}
 }
 
@@ -277,6 +297,22 @@ func (r *Registry) Snapshot() string {
 	for name, h := range r.histograms {
 		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.3f min=%.3f max=%.3f p50=%.3f p99=%.3f",
 			name, h.Count(), h.Mean(), h.Min(), h.Max(), h.Quantile(0.5), h.Quantile(0.99)))
+	}
+	for name, f := range r.counterFams {
+		f.each(func(values []string, c *Counter) {
+			lines = append(lines, fmt.Sprintf("counter %s%s %d", name, formatLabels(f.labelNames, values), c.Value()))
+		})
+	}
+	for name, f := range r.gaugeFams {
+		f.each(func(values []string, g *Gauge) {
+			lines = append(lines, fmt.Sprintf("gauge %s%s %d", name, formatLabels(f.labelNames, values), g.Value()))
+		})
+	}
+	for name, f := range r.histFams {
+		f.each(func(values []string, h *Histogram) {
+			lines = append(lines, fmt.Sprintf("histogram %s%s count=%d mean=%.3f p50=%.3f p99=%.3f",
+				name, formatLabels(f.labelNames, values), h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99)))
+		})
 	}
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")

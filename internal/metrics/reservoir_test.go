@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestReservoirIsUnbiasedUnderDrift feeds a stream whose values encode their
+// own position (v = i) and checks the retained sample's quantiles track the
+// full stream. The old deterministic slot overwrite (slot derived from the
+// running count) visits only gcd-related slots for periodic streams and
+// systematically over-retains late values; Algorithm R must keep the sample
+// representative of the whole stream.
+func TestReservoirIsUnbiasedUnderDrift(t *testing.T) {
+	h := NewHistogram(1)
+	const n = 20 * histReservoirSize
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	// Quantiles of 0..n-1 are q*(n-1); the reservoir estimate should land
+	// within a few percent of the stream span.
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := h.Quantile(q)
+		want := q * float64(n-1)
+		if diff := math.Abs(got-want) / float64(n); diff > 0.05 {
+			t.Errorf("Quantile(%.2f) = %.0f, want ~%.0f (off by %.1f%% of stream span)",
+				q, got, want, 100*diff)
+		}
+	}
+}
+
+// TestReservoirRetentionProbability checks Algorithm R's defining property:
+// each stream position is retained with probability reservoirSize/n,
+// independent of position. The stream is split into early/late halves; the
+// retained counts from each half must match within sampling noise.
+func TestReservoirRetentionProbability(t *testing.T) {
+	h := NewHistogram(1)
+	const n = 16 * histReservoirSize
+	for i := 0; i < n; i++ {
+		// Early half gets negative values, late half positive, so retained
+		// samples can be attributed to a half by sign.
+		v := float64(i + 1)
+		if i < n/2 {
+			v = -v
+		}
+		h.Observe(v)
+	}
+	h.mu.Lock()
+	early := 0
+	for _, v := range h.samples {
+		if v < 0 {
+			early++
+		}
+	}
+	size := len(h.samples)
+	h.mu.Unlock()
+	if size != histReservoirSize {
+		t.Fatalf("reservoir holds %d samples, want %d", size, histReservoirSize)
+	}
+	frac := float64(early) / float64(size)
+	// Binomial std-dev is ~0.0078 at p=0.5, n=4096; allow 5 sigma.
+	if math.Abs(frac-0.5) > 0.04 {
+		t.Errorf("early-half retention fraction = %.3f, want ~0.5 (biased reservoir)", frac)
+	}
+}
+
+// TestReservoirReproducible: two histograms fed the same stream must retain
+// identical reservoirs (the seeded-PRNG reproducibility requirement).
+func TestReservoirReproducible(t *testing.T) {
+	a, b := NewHistogram(1, 2), NewHistogram(1, 2)
+	rng := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 3*histReservoirSize; i++ {
+		v := rng.Float64()
+		a.Observe(v)
+		b.Observe(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if av, bv := a.Quantile(q), b.Quantile(q); av != bv {
+			t.Fatalf("Quantile(%.2f) differs between identical streams: %v vs %v", q, av, bv)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	cases := map[float64]float64{
+		-1:   1,
+		0:    1,
+		0.5:  2.5,
+		1:    4,
+		2:    4,
+		0.25: 1.75,
+	}
+	for q, want := range cases {
+		if got := h.Quantile(q); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := NewHistogram(1).Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty histogram = %v, want 0", got)
+	}
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerIsNil(t *testing.T) {
+	tr := New(nil)
+	if tr.Enabled() {
+		t.Fatal("new tracer should start disabled")
+	}
+	if got := tr.Start(); got != nil {
+		t.Fatalf("Start on disabled tracer = %v, want nil", got)
+	}
+	var nilTracer *Tracer
+	if nilTracer.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := nilTracer.Start(); got != nil {
+		t.Fatalf("Start on nil tracer = %v, want nil", got)
+	}
+	nilTracer.SetEnabled(true) // must not panic
+}
+
+func TestNilTraceMethodsAreNoOps(t *testing.T) {
+	var tr *Trace
+	if !tr.Now().IsZero() {
+		t.Error("nil trace Now() should be the zero time")
+	}
+	tr.Record(StageEncode, time.Now(), 100)
+	tr.AddBytes(StageGzip, 5)
+	tr.Discard()
+	if tr.ID() != 0 {
+		t.Error("nil trace ID should be 0")
+	}
+	if tr.Span(StageRoute) != (Span{}) {
+		t.Error("nil trace Span should be zero")
+	}
+	if sum := tr.Finish(); sum != nil {
+		t.Errorf("nil trace Finish = %v, want nil", sum)
+	}
+}
+
+func TestDisabledPathAllocsNothing(t *testing.T) {
+	tr := New(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start()
+		t0 := sp.Now()
+		sp.Record(StageRoute, t0, 0)
+		sp.Record(StageEncode, t0, 123)
+		sp.AddBytes(StageGzip, 17)
+		if sum := sp.Finish(); sum != nil {
+			t.Fatal("disabled trace produced a summary")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled tracing allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTraceRecordsSpans(t *testing.T) {
+	var completed *Summary
+	tr := New(nil)
+	tr.SetEnabled(true)
+	sp := tr.Start()
+	if sp == nil {
+		t.Fatal("Start returned nil with tracing enabled")
+	}
+	t0 := sp.Now()
+	time.Sleep(time.Millisecond)
+	sp.Record(StageEncode, t0, 4096)
+	sp.AddBytes(StageEncode, 4)
+	sp.Record(StageGzip, sp.Now(), 100)
+	sum := sp.Finish()
+	if sum == nil {
+		t.Fatal("Finish returned nil summary")
+	}
+	completed = sum
+	if completed.ID != 1 {
+		t.Errorf("trace ID = %d, want 1", completed.ID)
+	}
+	enc := completed.Stages[StageEncode]
+	if enc.Dur < time.Millisecond {
+		t.Errorf("encode span %v, want >= 1ms", enc.Dur)
+	}
+	if enc.Bytes != 4100 {
+		t.Errorf("encode bytes = %d, want 4100", enc.Bytes)
+	}
+	if completed.Total < enc.Dur {
+		t.Errorf("total %v < encode span %v", completed.Total, enc.Dur)
+	}
+	if route := completed.Stages[StageRoute]; route != (Span{}) {
+		t.Errorf("untouched route span = %+v, want zero", route)
+	}
+}
+
+func TestOnCompleteCallbackAndPooling(t *testing.T) {
+	var calls int
+	var lastEncode Span
+	tr := New(func(sp *Trace) {
+		calls++
+		lastEncode = sp.Span(StageEncode)
+	})
+	tr.SetEnabled(true)
+
+	sp := tr.Start()
+	sp.Record(StageEncode, sp.Now(), 10)
+	sp.Finish()
+	if calls != 1 {
+		t.Fatalf("onComplete calls = %d, want 1", calls)
+	}
+	if lastEncode.Bytes != 10 {
+		t.Errorf("callback saw encode bytes %d, want 10", lastEncode.Bytes)
+	}
+
+	// A discarded trace must not invoke the callback.
+	sp = tr.Start()
+	sp.Discard()
+	if calls != 1 {
+		t.Fatalf("Discard invoked onComplete (calls = %d)", calls)
+	}
+
+	// A recycled trace starts clean.
+	sp = tr.Start()
+	if sp.Span(StageEncode) != (Span{}) {
+		t.Error("pooled trace carried stale spans")
+	}
+	if sp.ID() <= 1 {
+		t.Errorf("recycled trace ID = %d, want monotonically increasing", sp.ID())
+	}
+	sp.Finish()
+}
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageRoute:  "route",
+		StageSelect: "select",
+		StageAnon:   "anon",
+		StageEncode: "encode",
+		StageGzip:   "gzip",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", s, s.String(), name)
+		}
+	}
+	if got := Stage(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("out-of-range stage String() = %q", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{
+		ID:    7,
+		Total: 1500 * time.Microsecond,
+	}
+	s.Stages[StageEncode] = Span{Dur: 900 * time.Microsecond, Bytes: 12345}
+	out := s.String()
+	for _, want := range []string{"total=1.5ms", "encode=900µs[12345B]", "route=0s", "gzip=0s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Summary.String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestConcurrentTraces(t *testing.T) {
+	tr := New(func(*Trace) {})
+	tr.SetEnabled(true)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				sp := tr.Start()
+				sp.Record(StageRoute, sp.Now(), 1)
+				if i%7 == 0 {
+					sp.Discard()
+				} else {
+					sp.Finish()
+				}
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
