@@ -16,6 +16,7 @@ package cbde_test
 import (
 	"fmt"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -470,6 +471,123 @@ func benchEngineParallel(b *testing.B, nClasses int) {
 	})
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkEngineProcessBudgeted measures the memory-governed store on the
+// parallel serving path. headroom sets a budget the working set fits inside,
+// so it prices the per-request budget check alone (must track the
+// unbudgeted BenchmarkEngineProcessParallel numbers); churn sets a budget
+// that holds the two hot classes (a fully warm class costs ~0.5 MB — base
+// plus the stride-1 chain index) but not the six-class cold tail, so sweeps
+// run continuously: CLOCK must keep the hot set resident while the tail
+// evicts and re-warms, with the full (non-delta) response fraction reported
+// alongside req/s.
+func BenchmarkEngineProcessBudgeted(b *testing.B) {
+	b.Run("headroom", func(b *testing.B) { benchEngineBudgeted(b, 64<<20) })
+	b.Run("churn", func(b *testing.B) { benchEngineBudgeted(b, 1536<<10) })
+}
+
+func benchEngineBudgeted(b *testing.B, budget int64) {
+	eng, err := core.NewEngine(core.Config{
+		Anon:      anonymize.Config{M: 1, N: 2},
+		Selector:  basefile.Config{SampleProb: -1},
+		MemBudget: budget,
+		Now:       monotonic(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	const nClasses = 8
+	type class struct {
+		id      string
+		version int
+		docs    [][]byte
+	}
+	classes := make([]*class, nClasses)
+	urls := make([]string, nClasses)
+	for c := 0; c < nClasses; c++ {
+		site := origin.NewSite(origin.Config{
+			Host:          fmt.Sprintf("www.gov%d.com", c),
+			Depts:         []origin.Dept{{Name: "catalog", Items: 2}},
+			TemplateBytes: 30000,
+			ItemBytes:     3000,
+			ChurnBytes:    1500,
+			Seed:          uint64(8000 + c),
+		})
+		urls[c] = fmt.Sprintf("www.gov%d.com/catalog/0", c)
+		var resp core.Response
+		for u := 0; u < 4; u++ {
+			doc, err := site.Render("catalog", 0, "", u)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err = eng.Process(core.Request{URL: urls[c], UserID: fmt.Sprintf("warm%d", u), Doc: doc})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		cl := &class{id: resp.ClassID, version: resp.LatestVersion}
+		for t := 0; t < 16; t++ {
+			doc, err := site.Render("catalog", 0, "", 10+t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cl.docs = append(cl.docs, doc)
+		}
+		classes[c] = cl
+	}
+
+	// Rotate a few user identities so evicted classes can finish
+	// anonymization again and re-warm mid-run.
+	users := []string{"bench-0", "bench-1", "bench-2", "bench-3"}
+	var fulls atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine held versions, refreshed like a real client when the
+		// server announces a newer base — under churn, evicted classes
+		// degrade to full responses until the goroutine re-fetches.
+		held := make([]int, nClasses)
+		for c, cl := range classes {
+			held[c] = cl.version
+		}
+		i := 0
+		for pb.Next() {
+			// 75% of traffic on two hot classes, the rest rotating the
+			// cold tail — the skew CLOCK's ref bits are built for.
+			c := i % 2
+			if i%4 == 3 {
+				c = 2 + (i/4)%(nClasses-2)
+			}
+			cl := classes[c]
+			req := core.Request{
+				URL:    urls[c],
+				UserID: users[(i/nClasses)%len(users)],
+				Doc:    cl.docs[i%len(cl.docs)],
+			}
+			if held[c] != 0 {
+				req.HaveClassID = cl.id
+				req.HaveVersion = held[c]
+			}
+			resp, err := eng.Process(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Kind != core.KindDelta {
+				fulls.Add(1)
+			}
+			if resp.LatestVersion != held[c] {
+				held[c] = resp.LatestVersion
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	b.ReportMetric(float64(fulls.Load())/float64(b.N), "full-frac")
+	if st := eng.StoreStats(); st.Resident.Total > budget {
+		b.Fatalf("resident bytes %d exceed budget %d after run", st.Resident.Total, budget)
+	}
 }
 
 func monotonic() func() time.Time {

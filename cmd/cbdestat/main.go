@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	cbdestat -server http://localhost:8080            # global + per-class table
+//	cbdestat -server http://localhost:8080            # global + store + per-class table
 //	cbdestat -server http://localhost:8080 -class ID  # one class as JSON
+//	cbdestat -server http://localhost:8080 -store     # raw storage-governance JSON
 //	cbdestat -server http://localhost:8080 -metrics   # raw exposition dump
 //	cbdestat -server http://localhost:8080 -check     # validate exposition (CI)
 //
@@ -29,6 +30,7 @@ import (
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
 	"cbde/internal/metrics"
+	"cbde/internal/store"
 )
 
 // coreSeries are the series -check requires; they cover the acceptance
@@ -58,11 +60,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cbdestat", flag.ContinueOnError)
 	var (
-		server  = fs.String("server", "http://localhost:8080", "delta-server base URL")
-		class   = fs.String("class", "", "dump one class's stats as JSON")
-		rawMet  = fs.Bool("metrics", false, "dump the raw Prometheus exposition")
-		check   = fs.Bool("check", false, "validate the exposition and core series; exit non-zero on failure")
-		timeout = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+		server   = fs.String("server", "http://localhost:8080", "delta-server base URL")
+		class    = fs.String("class", "", "dump one class's stats as JSON")
+		rawStore = fs.Bool("store", false, "dump the raw storage-governance snapshot as JSON")
+		rawMet   = fs.Bool("metrics", false, "dump the raw Prometheus exposition")
+		check    = fs.Bool("check", false, "validate the exposition and core series; exit non-zero on failure")
+		timeout  = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +77,13 @@ func run(args []string, out io.Writer) error {
 		return checkMetrics(client, *server, out)
 	case *rawMet:
 		body, err := fetch(client, *server+deltahttp.MetricsPath)
+		if err != nil {
+			return err
+		}
+		_, err = out.Write(body)
+		return err
+	case *rawStore:
+		body, err := fetch(client, *server+deltahttp.StorePath)
 		if err != nil {
 			return err
 		}
@@ -107,13 +117,34 @@ func fetch(client *http.Client, u string) ([]byte, error) {
 	return body, nil
 }
 
-// snapshot prints the global counter dump followed by a per-class table.
+// snapshot prints the global counter dump, the storage-governance summary,
+// and a per-class table.
 func snapshot(client *http.Client, server string, out io.Writer) error {
 	global, err := fetch(client, server+deltahttp.StatsPath)
 	if err != nil {
 		return err
 	}
 	out.Write(global)
+
+	if body, err := fetch(client, server+deltahttp.StorePath); err == nil {
+		var st store.Stats
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("parse store snapshot: %w", err)
+		}
+		budget := "unbudgeted"
+		if st.Budget > 0 {
+			budget = fmt.Sprintf("%d budget", st.Budget)
+		}
+		fmt.Fprintf(out, "\nstore: %d resident bytes (%s; base %d, cand %d, index %d), %d/%d classes resident, %d prunes, %d evictions\n",
+			st.Resident.Total, budget,
+			st.Resident.BaseBytes, st.Resident.CandBytes, st.Resident.IndexBytes,
+			st.ResidentClasses, st.Classes, st.Prunes, st.Evictions)
+		for i := max(0, len(st.Log)-3); i < len(st.Log); i++ {
+			r := st.Log[i]
+			fmt.Fprintf(out, "  %s %s freed %d bytes at %s\n",
+				r.Kind, r.Key, r.FreedBytes, r.At.Format(time.RFC3339))
+		}
+	}
 
 	body, err := fetch(client, server+deltahttp.StatsPath+"?class=*")
 	if err != nil {
@@ -128,7 +159,7 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON")
+	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON\tRESIDENT\tEV/RW")
 	for _, r := range rows {
 		// Completed anonymization processes are discarded by the engine,
 		// so inactive classes show "-" rather than guessing done vs off.
@@ -136,10 +167,15 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		if r.AnonActive {
 			anon = fmt.Sprintf("%d/%d", r.AnonDone, r.AnonNeeded)
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\tv%d\t%s\t%s\n",
+		base := fmt.Sprintf("v%d", r.BaseVersion)
+		if r.Evicted {
+			base = "evicted"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%d\t%d/%d\n",
 			r.ID, r.Requests, r.DeltaHits, r.DeltaMisses,
 			r.BytesIn, r.BytesShipped, 100*r.Savings(),
-			r.BaseVersion, r.BaseAge.Round(time.Second), anon)
+			base, r.BaseAge.Round(time.Second), anon,
+			r.ResidentBytes, r.Evictions, r.Rewarms)
 	}
 	return tw.Flush()
 }

@@ -15,6 +15,7 @@ import (
 	"cbde/internal/deltahttp"
 	"cbde/internal/deltaserver"
 	"cbde/internal/origin"
+	"cbde/internal/store"
 )
 
 // testStack boots origin + delta-server and drives enough capable traffic
@@ -78,10 +79,22 @@ func TestSnapshotAndCheck(t *testing.T) {
 		t.Fatalf("snapshot: %v", err)
 	}
 	out := buf.String()
-	for _, want := range []string{"CLASS", "HITS", "SAVED%", "www.stat.com/d"} {
+	for _, want := range []string{"CLASS", "HITS", "SAVED%", "RESIDENT", "www.stat.com/d", "store:", "unbudgeted"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("snapshot output missing %q:\n%s", want, out)
 		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-server", server, "-store"}, &buf); err != nil {
+		t.Fatalf("-store: %v", err)
+	}
+	var st store.Stats
+	if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+		t.Fatalf("-store output is not JSON: %v\n%s", err, buf.String())
+	}
+	if st.Classes == 0 || st.Resident.Total == 0 {
+		t.Errorf("-store snapshot empty after warm traffic: %+v", st)
 	}
 
 	buf.Reset()

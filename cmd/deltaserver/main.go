@@ -13,6 +13,7 @@ package main
 import (
 	"errors"
 	"flag"
+	"fmt"
 	"io/fs"
 	"log"
 	"log/slog"
@@ -20,6 +21,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,6 +60,8 @@ func run(args []string) error {
 
 		maxDeltaRatio = fs.Float64("max-delta-ratio", 0.5, "basic-rebase when delta exceeds this fraction of the doc")
 
+		memBudget = fs.String("mem-budget", "", "class-storage byte budget with optional k/m/g suffix (e.g. 64m); empty = unbudgeted")
+
 		stateFile = fs.String("state", "", "persist engine state to this file (load at start, save on shutdown)")
 		stateSave = fs.Duration("state-save-every", 5*time.Minute, "periodic state-save interval (with -state)")
 
@@ -79,8 +84,14 @@ func run(args []string) error {
 		log.Printf("unknown -mode %q, using class-based", *mode)
 	}
 
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
+	}
+
 	eng, err := core.NewEngine(core.Config{
-		Mode: m,
+		Mode:      m,
+		MemBudget: budget,
 		Classify: classify.Config{
 			MaxProbes:       *maxProbes,
 			PopularFraction: *popular,
@@ -131,7 +142,33 @@ func run(args []string) error {
 	}
 
 	log.Printf("deltaserver: %s mode, fronting %s on %s (stats at /_cbde/stats, metrics at /_cbde/metrics)", m, *originURL, *addr)
+	if budget > 0 {
+		log.Printf("deltaserver: class-storage budget %d bytes (snapshot at /_cbde/store)", budget)
+	}
 	return http.ListenAndServe(*addr, srv)
+}
+
+// parseBytes parses a byte count with an optional k/m/g suffix (powers of
+// 1024, case-insensitive). Empty means 0 (unbudgeted).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return n * mult, nil
 }
 
 // loadState restores persisted engine state, tolerating a missing file

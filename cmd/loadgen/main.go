@@ -32,6 +32,7 @@ func run(args []string) error {
 		clients  = fs.Int("clients", 8, "concurrent delta-capable clients")
 		requests = fs.Int("requests", 50, "requests per client")
 		vcdiff   = fs.Bool("vcdiff", false, "request RFC 3284 VCDIFF payloads")
+		verify   = fs.Bool("verify", false, "byte-compare every reconstruction against a plain re-fetch; exit non-zero on mismatch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,10 +50,14 @@ func run(args []string) error {
 		Clients:           *clients,
 		RequestsPerClient: *requests,
 		VCDIFF:            *vcdiff,
+		Verify:            *verify,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Println(res)
+	if res.Mismatches > 0 {
+		return fmt.Errorf("%d document mismatches", res.Mismatches)
+	}
 	return nil
 }

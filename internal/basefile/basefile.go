@@ -86,12 +86,26 @@ type Config struct {
 	// DeltaSize measures candidate quality. Default: the light Vdelta
 	// estimator (vdelta.Estimator with default settings).
 	DeltaSize DeltaSizeFunc
+	// OnStoredBytes, when set, is called with the signed change in the
+	// selector's resident document bytes — the working base plus stored
+	// candidate and reference samples — whenever that footprint changes.
+	// The store layer uses it for byte-accurate accounting. The callback
+	// runs under the selector's lock and must not call back into it.
+	OnStoredBytes func(delta int)
 	// AsyncSampling moves candidate admission (the 2K delta computations
 	// per sample) off the calling goroutine, as the paper prescribes:
 	// "this calculation can be done offline" (Section IV). Observe then
 	// reports Sampled but admission outcomes (evictions, group-rebases)
 	// surface on later calls. Use Quiesce in tests to drain pending work.
 	AsyncSampling bool
+	// AfterAsyncAdmit, when set with AsyncSampling, runs on the admission
+	// goroutine after each asynchronous admission completes and the
+	// selector's lock is released. An async admission installs document
+	// bytes after the request that sampled them has finished its own store
+	// maintenance, so the store layer uses this hook to re-enforce its
+	// memory budget. Unlike OnStoredBytes it may call back into the
+	// selector; Quiesce waits for it.
+	AfterAsyncAdmit func()
 	// Seed seeds the sampling RNG, for reproducible experiments.
 	Seed uint64
 }
@@ -165,6 +179,7 @@ type Selector struct {
 	dists       [][]int  // dists[i][j] = DeltaSize(candidates[i].doc, refDoc(j))
 	samplesSeen int64
 	observed    int64
+	lastStored  int            // footprint last reported via OnStoredBytes
 	pending     sync.WaitGroup // outstanding async admissions
 }
 
@@ -201,16 +216,20 @@ func (s *Selector) Observe(doc []byte, now time.Time) Event {
 func (s *Selector) ObserveTagged(doc []byte, tag string, now time.Time) Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.syncStoredLocked()
 
 	var ev Event
 	s.observed++
 
-	if s.version == 0 {
+	if s.base == nil {
 		// The first response bootstraps the base-file so delta-encoding can
 		// start immediately; the randomized algorithm improves on it later.
+		// After a budget eviction dropped the base, re-warming lands here
+		// too: the version counter keeps counting up from where it was, so
+		// a re-warmed class never reuses a version number for new bytes.
 		s.base = cloneBytes(doc)
 		s.baseTag = tag
-		s.version = 1
+		s.version++
 		s.lastRebase = now
 		ev.Initialized = true
 	}
@@ -226,11 +245,21 @@ func (s *Selector) ObserveTagged(doc []byte, tag string, now time.Time) Event {
 		s.pending.Add(1)
 		go func() {
 			defer s.pending.Done()
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			var async Event
-			s.admit(docCopy, tag, &async)
-			s.maybeGroupRebase(now, &async)
+			func() {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				defer s.syncStoredLocked()
+				var async Event
+				s.admit(docCopy, tag, &async)
+				s.maybeGroupRebase(now, &async)
+			}()
+			// The admission installed bytes after the sampling request's
+			// own maintenance pass; run the follow-up with the lock
+			// released so it can prune this selector. Done comes after,
+			// so Quiesce covers the follow-up too.
+			if s.cfg.AfterAsyncAdmit != nil {
+				s.cfg.AfterAsyncAdmit()
+			}
 		}()
 		return ev
 	}
@@ -397,6 +426,7 @@ func (s *Selector) BaseTag() string {
 func (s *Selector) BasicRebase(doc []byte, tag string, now time.Time) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.syncStoredLocked()
 	s.base = cloneBytes(doc)
 	s.baseTag = tag
 	s.version++
@@ -447,15 +477,84 @@ func cloneBytes(b []byte) []byte {
 
 func bytesEqual(a, b []byte) bool { return bytes.Equal(a, b) }
 
+// footprintLocked returns the selector's resident document bytes: the
+// working base plus all stored candidate and reference samples. The two-set
+// variant shares each sample's backing slice between both sets; the shared
+// bytes are deliberately counted per set — consistently, so the deltas
+// reported via OnStoredBytes net to zero over a sample's lifetime.
+func (s *Selector) footprintLocked() int {
+	n := len(s.base)
+	for i := range s.candidates {
+		n += len(s.candidates[i].doc)
+	}
+	if s.cfg.Eviction == EvictTwoSet {
+		for i := range s.refs {
+			n += len(s.refs[i].doc)
+		}
+	}
+	return n
+}
+
+// syncStoredLocked reports the footprint change since the last report to
+// the OnStoredBytes callback. Every mutation path defers it before
+// releasing the lock, so the accounting never drifts from the store.
+func (s *Selector) syncStoredLocked() {
+	if s.cfg.OnStoredBytes == nil {
+		return
+	}
+	cur := s.footprintLocked()
+	if d := cur - s.lastStored; d != 0 {
+		s.lastStored = cur
+		s.cfg.OnStoredBytes(d)
+	}
+}
+
+// DropSamples releases the selector's sampled documents — candidates,
+// reference samples, and the distance matrix — while keeping the working
+// base, so the class keeps serving deltas against its current base-file.
+// The store's budget maintenance calls this to prune a class.
+func (s *Selector) DropSamples() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.syncStoredLocked()
+	s.candidates = nil
+	s.refs = nil
+	s.dists = nil
+}
+
+// DropStored additionally releases the working base, fully de-warming the
+// selector. The version counter is preserved: when traffic re-initializes
+// the base, the version increments past every number this class ever
+// announced, so a client can never be served a delta computed against
+// bytes that differ from the base version it holds. The store's budget
+// maintenance calls this to evict a class.
+func (s *Selector) DropStored() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.syncStoredLocked()
+	s.candidates = nil
+	s.refs = nil
+	s.dists = nil
+	s.base = nil
+	s.baseTag = ""
+}
+
 // Restore installs a persisted base-file and version counter into a fresh
 // selector, so rebase numbering continues where a previous process left
 // off. Stored candidate samples are deliberately not restored; they re-warm
-// from live traffic.
+// from live traffic. An empty base restores the version counter alone —
+// the evicted-class case, where only numbering continuity survives restart.
 func (s *Selector) Restore(base []byte, tag string, version int, lastRebase time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.base = cloneBytes(base)
-	s.baseTag = tag
+	defer s.syncStoredLocked()
+	if len(base) == 0 {
+		s.base = nil
+		s.baseTag = ""
+	} else {
+		s.base = cloneBytes(base)
+		s.baseTag = tag
+	}
 	if version > s.version {
 		s.version = version
 	}

@@ -40,6 +40,16 @@ type ClassStats struct {
 	AnonActive bool `json:"anonActive"`
 	AnonDone   int  `json:"anonDone"`
 	AnonNeeded int  `json:"anonNeeded"`
+
+	// ResidentBytes is the class's accounted storage footprint (installed
+	// base versions, selector-held documents, codec indexes). Evicted
+	// reports the class currently degraded by budget maintenance — serving
+	// full responses until traffic re-warms it — and Evictions/Rewarms
+	// count how often it has left and re-entered the resident set.
+	ResidentBytes int64 `json:"residentBytes"`
+	Evicted       bool  `json:"evicted,omitempty"`
+	Evictions     int64 `json:"evictions,omitempty"`
+	Rewarms       int64 `json:"rewarms,omitempty"`
 }
 
 // Savings is the class's bandwidth savings fraction (1 - shipped/in), or 0
@@ -62,7 +72,11 @@ func (e *Engine) classStats(cs *classState, now time.Time) ClassStats {
 		BytesIn:      cs.ctr.bytesIn.Value(),
 		BytesShipped: cs.ctr.bytesShipped.Value(),
 	}
+	st.ResidentBytes = cs.res.Total()
 	cs.mu.RLock()
+	st.Evicted = cs.evicted
+	st.Evictions = cs.evictions
+	st.Rewarms = cs.rewarms
 	st.BaseVersion = cs.distVersion
 	if cs.distVersion != 0 {
 		if bv, ok := cs.bases[cs.distVersion]; ok {
@@ -114,6 +128,35 @@ func (e *Engine) collect(c *metrics.Collection) {
 	c.Counter("cbde_bytes_saved_total",
 		"Client-facing bytes saved versus serving every document in full.",
 		nil, float64(saved))
+
+	st := e.cstore.Stats()
+	for _, kind := range []struct {
+		name  string
+		value int64
+	}{
+		{"base", st.Resident.BaseBytes},
+		{"cand", st.Resident.CandBytes},
+		{"index", st.Resident.IndexBytes},
+	} {
+		c.Gauge("cbde_store_resident_bytes",
+			"Resident class-storage bytes by kind (base versions, selector candidates, codec indexes).",
+			[]metrics.Label{{Name: "kind", Value: kind.name}}, float64(kind.value))
+	}
+	c.Gauge("cbde_store_budget_bytes",
+		"Configured class-storage byte budget (0 = unbudgeted).",
+		nil, float64(st.Budget))
+	c.Gauge("cbde_store_resident_classes",
+		"Classes with resident storage (tracked classes minus evicted ones).",
+		nil, float64(st.ResidentClasses))
+	c.Counter("cbde_store_prunes_total",
+		"Budget-driven class prunes (old base versions and samples dropped).",
+		nil, float64(st.Prunes))
+	c.Counter("cbde_store_evictions_total",
+		"Budget-driven class evictions (all resident payload dropped).",
+		nil, float64(st.Evictions))
+	c.Counter("cbde_store_rewarms_total",
+		"Evicted classes that regained a distributable base from traffic.",
+		nil, float64(e.ctr.rewarms.Value()))
 
 	now := e.cfg.Now()
 	states := e.states()

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cbde/internal/anonymize"
@@ -32,6 +33,7 @@ import (
 	"cbde/internal/gzipx"
 	"cbde/internal/metrics"
 	"cbde/internal/obs"
+	"cbde/internal/store"
 	"cbde/internal/urlparts"
 	"cbde/internal/vcdiff"
 	"cbde/internal/vdelta"
@@ -95,6 +97,14 @@ type Config struct {
 	// KeepBaseVersions is how many distributed base-file versions per class
 	// stay available for clients that hold an older version. Default 2.
 	KeepBaseVersions int
+	// MemBudget caps resident class storage — installed base-file versions,
+	// selector-held documents, and codec indexes — in bytes. Over budget,
+	// the engine first prunes redundant per-class payload (old base
+	// versions, sampled candidates), then evicts whole classes under a
+	// CLOCK policy; an evicted class transparently serves full responses
+	// and re-warms from traffic, never erroring. 0 (default) disables
+	// governance: classes are retained forever, as before.
+	MemBudget int64
 	// Tracing starts the engine with pipeline span tracing enabled (see
 	// internal/obs). Default off; flip at runtime with SetTracing. Disabled
 	// tracing costs one atomic load per request and zero allocations.
@@ -266,13 +276,57 @@ type baseVersion struct {
 	bytes []byte
 	once  sync.Once
 	index *vdelta.Index
+
+	// cs owns the version for byte accounting; nil in versions created by
+	// tests that bypass installBase.
+	cs *classState
+	// indexBytes is the accounted size of the lazily built index, and
+	// released marks the version dropped from its class. The index build
+	// runs outside all class locks, so it can race a concurrent release;
+	// the Swap(0) protocol below guarantees exactly one side subtracts the
+	// index bytes from the ledger.
+	indexBytes atomic.Int64
+	released   atomic.Bool
 }
 
 // vdeltaIndex returns the version's codec index, building it on first use.
 // Safe to call concurrently and without holding any class lock.
 func (bv *baseVersion) vdeltaIndex(coder *vdelta.Coder) *vdelta.Index {
-	bv.once.Do(func() { bv.index = coder.NewIndex(bv.bytes) })
+	bv.once.Do(func() {
+		bv.index = coder.NewIndex(bv.bytes)
+		if bv.cs == nil {
+			return
+		}
+		sz := bv.index.SizeBytes()
+		bv.cs.addIndex(sz)
+		bv.indexBytes.Store(sz)
+		if bv.released.Load() {
+			// The version was released while we were building: whoever wins
+			// the Swap undoes the accounting; the index itself is garbage
+			// the moment the running encode finishes with it.
+			if f := bv.indexBytes.Swap(0); f != 0 {
+				bv.cs.addIndex(-f)
+			}
+		}
+	})
 	return bv.index
+}
+
+// release returns the version's accounted bytes to the ledger when it is
+// dropped from its class. Callers hold cs.mu; safe against a concurrent
+// index build (see indexBytes). Returns the bytes it subtracted.
+func (bv *baseVersion) release() int64 {
+	if bv.cs == nil {
+		return 0
+	}
+	freed := int64(len(bv.bytes))
+	bv.cs.addBase(-freed)
+	bv.released.Store(true)
+	if f := bv.indexBytes.Swap(0); f != 0 {
+		bv.cs.addIndex(-f)
+		freed += f
+	}
+	return freed
 }
 
 // classState is the engine's per-class serving state.
@@ -300,10 +354,91 @@ type classState struct {
 	anonProc   *anonymize.Process
 	anonSource int
 
+	// evicted marks the class degraded by budget maintenance: no resident
+	// base, serving full responses until traffic re-warms it. evictions and
+	// rewarms count the transitions. All three are guarded by mu.
+	evicted   bool
+	evictions int64
+	rewarms   int64
+
+	// res is the class's share of the engine accountant's ledger: every
+	// byte delta is applied to both, so res.Total() is the class's resident
+	// footprint and the global ledger stays the exact sum over classes.
+	res  store.Accountant
+	acct *store.Accountant // the engine's global ledger
+
 	// ctr are the class's per-class serving counters, resolved from the
 	// engine's labeled metric families once at creation so the request hot
 	// path only touches atomics.
 	ctr classCounters
+}
+
+var _ store.Entry = (*classState)(nil)
+
+// addBase and addIndex apply a byte delta to the class's ledger and the
+// engine's global one. Candidate bytes flow through the selector's
+// OnStoredBytes callback instead (see newClassState).
+func (cs *classState) addBase(d int64) {
+	cs.res.AddBase(d)
+	cs.acct.AddBase(d)
+}
+func (cs *classState) addIndex(d int64) {
+	cs.res.AddIndex(d)
+	cs.acct.AddIndex(d)
+}
+
+// ResidentBytes implements store.Entry.
+func (cs *classState) ResidentBytes() int64 { return cs.res.Total() }
+
+// Prune implements store.Entry: drop every installed base version except
+// the newest distributable one, plus the selector's sampled candidate
+// documents. The class keeps serving deltas against its newest base;
+// clients holding pruned versions fall back to full responses.
+func (cs *classState) Prune() int64 {
+	before := cs.res.Total()
+	cs.mu.Lock()
+	for v, bv := range cs.bases {
+		if v != cs.distVersion {
+			delete(cs.bases, v)
+			bv.release()
+		}
+	}
+	cs.selector.DropSamples()
+	cs.mu.Unlock()
+	if freed := before - cs.res.Total(); freed > 0 {
+		return freed
+	}
+	return 0
+}
+
+// Evict implements store.Entry: release every resident byte — installed
+// base versions, the selector's working base and samples — and mark the
+// class degraded. The entry itself stays in the store so its identity,
+// counters, and version numbering survive; it announces LatestVersion 0,
+// serves full responses, and re-warms from the next requests. The selector
+// version counter is preserved, so a re-warmed class never reuses a
+// version number for different bytes.
+func (cs *classState) Evict() int64 {
+	before := cs.res.Total()
+	cs.mu.Lock()
+	for v, bv := range cs.bases {
+		delete(cs.bases, v)
+		bv.release()
+	}
+	cs.distVersion = 0
+	cs.installedAt = time.Time{}
+	cs.anonProc = nil
+	cs.anonSource = 0
+	if !cs.evicted {
+		cs.evicted = true
+		cs.evictions++
+	}
+	cs.selector.DropStored()
+	cs.mu.Unlock()
+	if freed := before - cs.res.Total(); freed > 0 {
+		return freed
+	}
+	return 0
 }
 
 // classCounters is the per-class stats table's accumulating half; the
@@ -315,27 +450,6 @@ type classCounters struct {
 	deltaMisses  *metrics.Counter // full responses served (no usable base)
 	bytesIn      *metrics.Counter // document bytes entering from the origin
 	bytesShipped *metrics.Counter // payload bytes leaving to clients
-}
-
-// classShardCount sizes the engine's sharded class table. A power of two so
-// the shard pick is a mask; 64 shards keep cross-class contention negligible
-// well past the goroutine counts a delta-server front runs.
-const classShardCount = 64
-
-// classShard is one slot of the sharded class table.
-type classShard struct {
-	mu      sync.RWMutex
-	classes map[string]*classState // by class/document key
-}
-
-// shardOf maps a class key to its shard index (FNV-1a).
-func shardOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h & (classShardCount - 1)
 }
 
 // hotCounters are the engine's per-request counters, resolved once at
@@ -355,6 +469,7 @@ type hotCounters struct {
 	anonStarted    *metrics.Counter
 	anonCompleted  *metrics.Counter
 	basesInstalled *metrics.Counter
+	rewarms        *metrics.Counter
 }
 
 // Engine implements class-based delta-encoding. Create one with NewEngine;
@@ -366,7 +481,12 @@ type Engine struct {
 	coder    *vdelta.Coder
 	classify *classify.Manager
 
-	shards [classShardCount]classShard
+	// cstore owns the class table (internal/store): an unbudgeted sharded
+	// map, or — with Config.MemBudget — a budgeted store that prunes and
+	// evicts classes when resident bytes exceed the budget. acct is its
+	// byte ledger.
+	cstore store.ClassStore
+	acct   *store.Accountant
 
 	// encBufs recycles the per-request delta scratch buffer (*encodeBuf).
 	// Together with the coder's own pooled index state and gzipx's pooled
@@ -416,9 +536,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		coder: vdelta.NewCoder(cfg.Codec...),
 		reg:   metrics.NewRegistry(),
 	}
-	for i := range e.shards {
-		e.shards[i].classes = make(map[string]*classState)
+	if cfg.MemBudget > 0 {
+		e.cstore = store.NewBudgeted(cfg.MemBudget, cfg.Now)
+	} else {
+		e.cstore = store.NewMap()
 	}
+	e.acct = e.cstore.Accountant()
 	e.ctr = hotCounters{
 		requests:       e.reg.Counter("requests"),
 		bytesDirect:    e.reg.Counter("bytes.direct"),
@@ -433,6 +556,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		anonStarted:    e.reg.Counter("anon.started"),
 		anonCompleted:  e.reg.Counter("anon.completed"),
 		basesInstalled: e.reg.Counter("bases.installed"),
+		rewarms:        e.reg.Counter("store.rewarms"),
 	}
 	if cfg.Mode == ModeClassBased {
 		e.classify = classify.NewManager(cfg.Classify)
@@ -481,26 +605,15 @@ func (e *Engine) SetTracing(enabled bool) { e.tracer.SetEnabled(enabled) }
 // TracingEnabled reports whether pipeline span tracing is on.
 func (e *Engine) TracingEnabled() bool { return e.tracer.Enabled() }
 
-// state returns (creating if needed) the classState for key. The fast path
-// is a shard read lock; creation re-checks under the write lock.
-func (e *Engine) state(key string, class *classify.Class) *classState {
-	sh := &e.shards[shardOf(key)]
-	sh.mu.RLock()
-	cs := sh.classes[key]
-	sh.mu.RUnlock()
-	if cs != nil {
-		return cs
-	}
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if cs, ok := sh.classes[key]; ok {
-		return cs
-	}
-	cs = &classState{
-		id:       key,
-		class:    class,
-		selector: basefile.NewSelector(e.cfg.Selector),
-		bases:    make(map[int]*baseVersion),
+// newClassState builds a classState wired to the engine's store ledger and
+// labeled metric families. Only the store's GetOrCreate calls it, so it
+// runs exactly once per class key.
+func (e *Engine) newClassState(key string, class *classify.Class) *classState {
+	cs := &classState{
+		id:    key,
+		class: class,
+		acct:  e.acct,
+		bases: make(map[int]*baseVersion),
 		ctr: classCounters{
 			requests:     e.famClassRequests.With(key),
 			deltaHits:    e.famClassHits.With(key),
@@ -509,31 +622,51 @@ func (e *Engine) state(key string, class *classify.Class) *classState {
 			bytesShipped: e.famClassShipped.With(key),
 		},
 	}
-	sh.classes[key] = cs
+	// The selector reports every resident-byte change of its working base
+	// and sample stores; the callback runs under the selector's lock and
+	// touches only atomics.
+	selCfg := e.cfg.Selector
+	selCfg.OnStoredBytes = func(d int) {
+		cs.res.AddCand(int64(d))
+		e.acct.AddCand(int64(d))
+	}
+	// Async sample admissions install candidate bytes after the sampling
+	// request's Maintain has returned, so each admission schedules its own
+	// budget pass once the selector lock is released.
+	selCfg.AfterAsyncAdmit = func() { e.cstore.Maintain() }
+	cs.selector = basefile.NewSelector(selCfg)
 	return cs
 }
 
-// lookup returns the classState for key, if it exists, touching only the
-// shard's read lock.
-func (e *Engine) lookup(key string) (*classState, bool) {
-	sh := &e.shards[shardOf(key)]
-	sh.mu.RLock()
-	cs, ok := sh.classes[key]
-	sh.mu.RUnlock()
-	return cs, ok
+// state returns (creating if needed) the classState for key. The fast path
+// is one store lookup and no allocations; the create closure is only built
+// on the miss path.
+func (e *Engine) state(key string, class *classify.Class) *classState {
+	if ent, ok := e.cstore.Get(key); ok {
+		return ent.(*classState)
+	}
+	ent, _ := e.cstore.GetOrCreate(key, func() store.Entry {
+		return e.newClassState(key, class)
+	})
+	return ent.(*classState)
 }
 
-// states snapshots every classState across all shards.
-func (e *Engine) states() []*classState {
-	var out []*classState
-	for i := range e.shards {
-		sh := &e.shards[i]
-		sh.mu.RLock()
-		for _, cs := range sh.classes {
-			out = append(out, cs)
-		}
-		sh.mu.RUnlock()
+// lookup returns the classState for key, if it exists.
+func (e *Engine) lookup(key string) (*classState, bool) {
+	ent, ok := e.cstore.Get(key)
+	if !ok {
+		return nil, false
 	}
+	return ent.(*classState), true
+}
+
+// states snapshots every classState in the store.
+func (e *Engine) states() []*classState {
+	out := make([]*classState, 0, e.cstore.Len())
+	e.cstore.ForEach(func(_ string, ent store.Entry) bool {
+		out = append(out, ent.(*classState))
+		return true
+	})
 	return out
 }
 
@@ -590,6 +723,20 @@ func (e *Engine) Process(req Request) (Response, error) {
 
 	resp := e.respond(cs, snap, req, now, tr)
 	resp.ClassID = cs.id
+
+	// Budget maintenance runs with no class locks held, after this
+	// request's bytes are resident. At most one sweep runs at a time
+	// (contenders skip; the sweeper re-checks the budget after releasing
+	// the lock), so mid-flight resident bytes overshoot the budget by at
+	// most the working size the in-flight requests admitted during the
+	// sweep. Async sample admissions land after this call but schedule
+	// their own pass (AfterAsyncAdmit), so once the last Maintain — from
+	// any trigger — returns, the store is at or under budget.
+	t0 = tr.Now()
+	if freed := e.cstore.Maintain(); freed > 0 {
+		tr.Record(obs.StageEvict, t0, freed)
+	}
+
 	if resp.Kind == KindDelta {
 		e.ctr.responsesDelta.Inc()
 		e.ctr.bytesDelta.Add(int64(len(resp.Payload)))
@@ -648,7 +795,10 @@ func (e *Engine) route(req Request) (*classState, error) {
 // cs.mu.
 func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time) {
 	base, version := cs.selector.Base()
-	if version == 0 {
+	if version == 0 || base == nil {
+		// base == nil with version > 0 is the evicted state: the selector
+		// keeps its version counter but holds no document until the next
+		// Observe re-warms it.
 		return
 	}
 
@@ -690,15 +840,23 @@ func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time
 // prunes old versions. Callers hold cs.mu; base must not be mutated after
 // the call (it becomes the immutable payload of a baseVersion).
 func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) {
-	cs.bases[v] = &baseVersion{bytes: base}
+	cs.bases[v] = &baseVersion{bytes: base, cs: cs}
+	cs.addBase(int64(len(base)))
 	cs.distVersion = v
 	cs.installedAt = now
+	if cs.evicted {
+		// A degraded class just got a distributable base again.
+		cs.evicted = false
+		cs.rewarms++
+		e.ctr.rewarms.Inc()
+	}
 	if cs.class != nil {
 		cs.class.SetMatchBase(base)
 	}
-	for old := range cs.bases {
+	for old, obv := range cs.bases {
 		if old <= v-e.cfg.KeepBaseVersions {
 			delete(cs.bases, old)
+			obv.release()
 		}
 	}
 	e.ctr.basesInstalled.Inc()
@@ -983,6 +1141,22 @@ func (e *Engine) DecodeAs(base, payload []byte, gzipped bool, format Format) ([]
 		return nil, fmt.Errorf("core: apply delta: %w", err)
 	}
 	return doc, nil
+}
+
+// StoreStats snapshots the storage-governance layer: the byte ledger by
+// category, the budget, resident versus total classes, and the recent
+// prune/evict log. The delta-server's /_cbde/store endpoint serves it.
+func (e *Engine) StoreStats() store.Stats { return e.cstore.Stats() }
+
+// Quiesce blocks until every class's outstanding asynchronous sample
+// admissions — and the budget maintenance each one schedules — have
+// completed. With synchronous sampling it is a no-op. Call it before
+// asserting on resident bytes or snapshotting state.
+func (e *Engine) Quiesce() {
+	e.cstore.ForEach(func(_ string, ent store.Entry) bool {
+		ent.(*classState).selector.Quiesce()
+		return true
+	})
 }
 
 // GroupingStats exposes the classifier's statistics in class-based mode.

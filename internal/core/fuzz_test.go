@@ -123,5 +123,36 @@ func FuzzEngineProcessRoundTrip(f *testing.F) {
 					len(served), len(indexed))
 			}
 		}
+
+		// Second pass under a tiny memory budget, so eviction churn runs on
+		// every fuzz input: whatever the sweep does between the two requests,
+		// a delta response must still reconstruct the document exactly, and
+		// a degraded class must answer full — never error.
+		be, err := NewEngine(Config{Mode: ModeClassless, MemBudget: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bfirst, err := be.Process(Request{URL: url, UserID: "u", Doc: doc1})
+		if err != nil {
+			t.Fatal(err) // the URL routed above; the budget must not change that
+		}
+		breq := Request{URL: url, UserID: "u", Doc: doc2, HaveClassID: bfirst.ClassID}
+		var bbase []byte
+		if b, v, ok := be.LatestBase(bfirst.ClassID); ok {
+			bbase, breq.HaveVersion = b, v
+		}
+		bresp, err := be.Process(breq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bresp.Kind == KindDelta {
+			got, err := be.DecodeAs(bbase, bresp.Payload, bresp.Gzipped, bresp.Format)
+			if err != nil {
+				t.Fatalf("decode budgeted delta: %v", err)
+			}
+			if !bytes.Equal(got, doc2) {
+				t.Fatalf("budgeted round trip mismatch: got %d bytes, want %d", len(got), len(doc2))
+			}
+		}
 	})
 }

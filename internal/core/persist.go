@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -10,12 +11,18 @@ import (
 	"cbde/internal/classify"
 )
 
-// stateVersion guards the persistence format.
-const stateVersion = 1
+// stateVersion guards the persistence format. Version 2 is a stream: one
+// header value followed by one value per class, so saving never marshals a
+// monolithic blob and loading restores incrementally. Version 1 (header
+// with the classes inline) is still loadable.
+const stateVersion = 2
 
 // savedClassState is the serializable per-class serving state. Selector
 // candidate stores and in-flight anonymization processes are deliberately
-// not persisted: they re-warm from live traffic.
+// not persisted: they re-warm from live traffic. An evicted class persists
+// as a minimal record — no bases, no selector base, Evicted set — so its
+// selector version counter survives restart and version numbering can
+// never restart from a number already announced to clients.
 type savedClassState struct {
 	ID           string         `json:"id"`
 	Bases        map[int][]byte `json:"bases,omitempty"` // JSON base64-encodes []byte
@@ -23,15 +30,50 @@ type savedClassState struct {
 	SelectorBase []byte         `json:"selectorBase,omitempty"`
 	SelectorTag  string         `json:"selectorTag,omitempty"`
 	SelectorVer  int            `json:"selectorVersion"`
+	Evicted      bool           `json:"evicted,omitempty"`
 }
 
-// savedState is the serializable portion of an Engine.
-type savedState struct {
-	Version  int                `json:"version"`
-	Mode     Mode               `json:"mode"`
-	SavedAt  time.Time          `json:"savedAt"`
-	Classes  []savedClassState  `json:"classes"`
-	Grouping *classify.Exported `json:"grouping,omitempty"`
+// savedHeader is the stream's leading value. ClassCount lets the loader
+// detect a truncated stream. For version-1 snapshots the same value also
+// carries the classes inline (see loadHeader).
+type savedHeader struct {
+	Version    int                `json:"version"`
+	Mode       Mode               `json:"mode"`
+	SavedAt    time.Time          `json:"savedAt"`
+	ClassCount int                `json:"classCount"`
+	Grouping   *classify.Exported `json:"grouping,omitempty"`
+}
+
+// loadHeader is savedHeader plus the version-1 inline class list.
+type loadHeader struct {
+	savedHeader
+	Classes []savedClassState `json:"classes"`
+}
+
+// snapshotForSave captures the class's durable state under a short read
+// lock. Installed base bytes and the selector's base are immutable once
+// published, so the snapshot references them without copying; the JSON
+// encode runs after the lock is released, so neither encoding cost nor a
+// 2x-state marshal buffer is ever paid while the class is locked.
+func (cs *classState) snapshotForSave() savedClassState {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	scs := savedClassState{
+		ID:          cs.id,
+		DistVersion: cs.distVersion,
+		Evicted:     cs.evicted,
+	}
+	if len(cs.bases) > 0 {
+		scs.Bases = make(map[int][]byte, len(cs.bases))
+		for v, bv := range cs.bases {
+			scs.Bases[v] = bv.bytes
+		}
+	}
+	base, version := cs.selector.Base()
+	scs.SelectorBase = base
+	scs.SelectorVer = version
+	scs.SelectorTag = cs.selector.BaseTag()
+	return scs
 }
 
 // SaveState writes the engine's durable state to w: class definitions, URL
@@ -40,110 +82,144 @@ type savedState struct {
 // re-anonymizing every class or invalidating clients' held base-files.
 // Selector candidate samples and in-flight anonymization processes are not
 // persisted; they rebuild from traffic.
+//
+// The output is a stream — one header value, then one value per class in
+// ID order — encoded class by class: each class is locked only long enough
+// to snapshot references to its immutable bytes, and a concurrent eviction
+// between snapshot and encode is harmless because released base bytes are
+// never mutated, only un-accounted.
 func (e *Engine) SaveState(w io.Writer) error {
-	st := savedState{Version: stateVersion, Mode: e.cfg.Mode, SavedAt: e.cfg.Now()}
-	if e.classify != nil {
-		ex := e.classify.Export()
-		st.Grouping = &ex
-	}
-
+	e.Quiesce() // settle async sample admissions so the snapshot is stable
 	states := e.states()
 	sort.Slice(states, func(i, j int) bool { // deterministic output for identical state
 		return states[i].id < states[j].id
 	})
 
-	for _, cs := range states {
-		cs.mu.RLock()
-		scs := savedClassState{
-			ID:          cs.id,
-			Bases:       make(map[int][]byte, len(cs.bases)),
-			DistVersion: cs.distVersion,
-		}
-		for v, bv := range cs.bases {
-			scs.Bases[v] = append([]byte(nil), bv.bytes...)
-		}
-		base, version := cs.selector.Base()
-		scs.SelectorBase = base
-		scs.SelectorVer = version
-		scs.SelectorTag = cs.selector.BaseTag()
-		cs.mu.RUnlock()
-		st.Classes = append(st.Classes, scs)
+	hdr := savedHeader{
+		Version:    stateVersion,
+		Mode:       e.cfg.Mode,
+		SavedAt:    e.cfg.Now(),
+		ClassCount: len(states),
+	}
+	if e.classify != nil {
+		ex := e.classify.Export()
+		hdr.Grouping = &ex
 	}
 
 	enc := json.NewEncoder(w)
-	if err := enc.Encode(st); err != nil {
+	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("core: save state: %w", err)
+	}
+	for _, cs := range states {
+		if err := enc.Encode(cs.snapshotForSave()); err != nil {
+			return fmt.Errorf("core: save state: class %q: %w", cs.id, err)
+		}
 	}
 	return nil
 }
 
 // LoadState restores state written by SaveState into a freshly constructed
 // engine. It must run before the engine serves traffic, and the engine's
-// Mode must match the saved one.
+// Mode must match the saved one. Both the version-2 stream and version-1
+// monolithic snapshots load; restored bytes flow through the store's
+// accountant, and a budgeted engine runs one maintenance sweep at the end
+// so a snapshot larger than the budget is brought under it immediately.
 func (e *Engine) LoadState(r io.Reader) error {
-	var st savedState
-	if err := json.NewDecoder(r).Decode(&st); err != nil {
+	dec := json.NewDecoder(r)
+	var hdr loadHeader
+	if err := dec.Decode(&hdr); err != nil {
 		return fmt.Errorf("core: load state: %w", err)
 	}
-	if st.Version != stateVersion {
-		return fmt.Errorf("core: load state: unsupported version %d", st.Version)
+	if hdr.Version != 1 && hdr.Version != stateVersion {
+		return fmt.Errorf("core: load state: unsupported version %d", hdr.Version)
 	}
-	if st.Mode != e.cfg.Mode {
-		return fmt.Errorf("core: load state: saved mode %v does not match engine mode %v", st.Mode, e.cfg.Mode)
+	if hdr.Mode != e.cfg.Mode {
+		return fmt.Errorf("core: load state: saved mode %v does not match engine mode %v", hdr.Mode, e.cfg.Mode)
 	}
 
-	if len(e.states()) != 0 {
+	if e.cstore.Len() != 0 {
 		return fmt.Errorf("core: load state into an engine that already served traffic")
 	}
 
-	if st.Grouping != nil {
+	if hdr.Grouping != nil {
 		if e.classify == nil {
 			return fmt.Errorf("core: load state: snapshot has grouping state but engine is classless")
 		}
-		if err := e.classify.Import(*st.Grouping); err != nil {
+		if err := e.classify.Import(*hdr.Grouping); err != nil {
 			return fmt.Errorf("core: load state: %w", err)
 		}
 	}
 
 	now := e.cfg.Now()
-	for _, scs := range st.Classes {
-		if scs.ID == "" {
-			return fmt.Errorf("core: load state: class with empty ID")
-		}
-		var cl *classify.Class
-		if e.classify != nil {
-			var ok bool
-			cl, ok = e.classify.ClassByID(scs.ID)
-			if !ok {
-				return fmt.Errorf("core: load state: class %q missing from grouping state", scs.ID)
+	if hdr.Version == 1 {
+		for _, scs := range hdr.Classes {
+			if err := e.restoreClass(scs, now); err != nil {
+				return err
 			}
 		}
-		cs := e.state(scs.ID, cl)
-		cs.mu.Lock()
-		for v, b := range scs.Bases {
-			if v <= 0 {
-				cs.mu.Unlock()
-				return fmt.Errorf("core: load state: class %q has invalid base version %d", scs.ID, v)
+	} else {
+		n := 0
+		for {
+			var scs savedClassState
+			if err := dec.Decode(&scs); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return fmt.Errorf("core: load state: class record %d: %w", n, err)
 			}
-			cs.bases[v] = &baseVersion{bytes: append([]byte(nil), b...)}
+			if err := e.restoreClass(scs, now); err != nil {
+				return err
+			}
+			n++
 		}
-		cs.distVersion = scs.DistVersion
-		if cs.distVersion != 0 {
-			// The true install time was not persisted; restart resets the
-			// base's age clock, which per-class stats report from.
-			cs.installedAt = now
+		if n != hdr.ClassCount {
+			return fmt.Errorf("core: load state: truncated stream: %d of %d class records", n, hdr.ClassCount)
 		}
-		if _, ok := cs.bases[cs.distVersion]; cs.distVersion != 0 && !ok {
-			cs.mu.Unlock()
-			return fmt.Errorf("core: load state: class %q distributes missing version %d", scs.ID, cs.distVersion)
-		}
-		if scs.SelectorVer > 0 {
-			cs.selector.Restore(scs.SelectorBase, scs.SelectorTag, scs.SelectorVer, now)
-		}
-		// Anonymization already happened for the distributed versions; the
-		// next rebase starts a fresh process.
-		cs.anonSource = scs.SelectorVer
-		cs.mu.Unlock()
 	}
+	e.cstore.Maintain()
+	return nil
+}
+
+// restoreClass rebuilds one class from its saved record.
+func (e *Engine) restoreClass(scs savedClassState, now time.Time) error {
+	if scs.ID == "" {
+		return fmt.Errorf("core: load state: class with empty ID")
+	}
+	var cl *classify.Class
+	if e.classify != nil {
+		var ok bool
+		cl, ok = e.classify.ClassByID(scs.ID)
+		if !ok {
+			return fmt.Errorf("core: load state: class %q missing from grouping state", scs.ID)
+		}
+	}
+	cs := e.state(scs.ID, cl)
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for v, b := range scs.Bases {
+		if v <= 0 {
+			return fmt.Errorf("core: load state: class %q has invalid base version %d", scs.ID, v)
+		}
+		// The decoded bytes are fresh allocations owned by this version.
+		cs.bases[v] = &baseVersion{bytes: b, cs: cs}
+		cs.addBase(int64(len(b)))
+	}
+	cs.distVersion = scs.DistVersion
+	if cs.distVersion != 0 {
+		// The true install time was not persisted; restart resets the
+		// base's age clock, which per-class stats report from.
+		cs.installedAt = now
+	}
+	if _, ok := cs.bases[cs.distVersion]; cs.distVersion != 0 && !ok {
+		return fmt.Errorf("core: load state: class %q distributes missing version %d", scs.ID, cs.distVersion)
+	}
+	if scs.SelectorVer > 0 {
+		// For an evicted class SelectorBase is empty and Restore keeps the
+		// selector base-less: only the version counter carries over.
+		cs.selector.Restore(scs.SelectorBase, scs.SelectorTag, scs.SelectorVer, now)
+	}
+	// Anonymization already happened for the distributed versions; the
+	// next rebase starts a fresh process.
+	cs.anonSource = scs.SelectorVer
+	cs.evicted = scs.Evicted
 	return nil
 }

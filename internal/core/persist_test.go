@@ -245,3 +245,111 @@ func savedAtOf(t *testing.T, s string) string {
 	j := strings.IndexByte(rest, '"')
 	return rest[:j]
 }
+
+// TestSaveLoadUnderEviction is the eviction round-trip: a class evicted by
+// budget maintenance persists as a minimal record, restores in the evicted
+// state, serves a client holding a pre-eviction base with a full response,
+// and re-warms at a strictly newer version — numbering continuity survives
+// both the eviction and the restart.
+func TestSaveLoadUnderEviction(t *testing.T) {
+	const budget = 10 << 10
+	mk := func() *Engine {
+		return newTestEngine(t, Config{MemBudget: budget, DisableAnonymization: true})
+	}
+	a := mk()
+
+	// Warm class A, then hammer class B until A is evicted.
+	var aID string
+	var aVersion int
+	for u := 0; u < 4; u++ {
+		user := fmt.Sprintf("a-user-%d", u)
+		resp, err := a.Process(Request{
+			URL:    "www.shop.com/laptops/1",
+			UserID: user,
+			Doc:    renderDoc("laptops", 1, u, user),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aID, aVersion = resp.ClassID, resp.LatestVersion
+	}
+	if aVersion == 0 {
+		t.Fatal("class A never distributed a base")
+	}
+	evicted := false
+	for i := 0; i < 400 && !evicted; i++ {
+		user := fmt.Sprintf("b-user-%d", i%9)
+		if _, err := a.Process(Request{
+			URL:    "www.shop.com/desktops/2",
+			UserID: user,
+			Doc:    renderDoc("desktops", 2, i, user),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		st, ok := a.ClassStats(aID)
+		if !ok {
+			t.Fatal("class A vanished")
+		}
+		evicted = st.Evicted
+	}
+	if !evicted {
+		t.Fatal("class A never evicted; cannot test persist-under-eviction")
+	}
+
+	var buf bytes.Buffer
+	if err := a.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	b := mk()
+	if err := b.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The evicted class restored in its degraded state: known, marked
+	// evicted, holding nothing.
+	st, ok := b.ClassStats(aID)
+	if !ok {
+		t.Fatal("evicted class missing after restore")
+	}
+	if !st.Evicted {
+		t.Fatal("restored class lost its evicted flag")
+	}
+	if st.BaseVersion != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("restored evicted class has resident state: %+v", st)
+	}
+	if _, ok := b.BaseFile(aID, aVersion); ok {
+		t.Fatal("restored evicted class serves a pre-eviction base")
+	}
+
+	// A client still holding the pre-eviction base gets a correct full
+	// response, then the class re-warms at a strictly newer version.
+	rewarmed := false
+	for j := 0; j < 30 && !rewarmed; j++ {
+		resp, err := b.Process(Request{
+			URL:         "www.shop.com/laptops/1",
+			UserID:      "returning",
+			Doc:         renderDoc("laptops", 1, 200+j, "returning"),
+			HaveClassID: aID,
+			HaveVersion: aVersion,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j == 0 && resp.Kind != KindFull {
+			t.Fatalf("first post-restore response is %v, want full", resp.Kind)
+		}
+		if resp.LatestVersion != 0 && resp.LatestVersion <= aVersion {
+			t.Fatalf("post-restore version %d does not exceed pre-eviction version %d (version reuse)",
+				resp.LatestVersion, aVersion)
+		}
+		if resp.LatestVersion > aVersion {
+			if _, ok := b.BaseFile(aID, resp.LatestVersion); ok {
+				rewarmed = true
+			}
+		}
+	}
+	if !rewarmed {
+		t.Fatal("restored evicted class never re-warmed")
+	}
+}

@@ -83,6 +83,10 @@ const (
 	// MetricsPath serves the registry as Prometheus text exposition
 	// (version 0.0.4), the endpoint a real scraper points at.
 	MetricsPath = "/_cbde/metrics"
+	// StorePath serves the storage-governance snapshot as JSON: byte
+	// budget, resident bytes by kind, resident versus tracked classes,
+	// prune/evict counters, and the recent eviction log.
+	StorePath = "/_cbde/store"
 )
 
 // Held is one (class, version) pair a client advertises.

@@ -114,6 +114,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveStats(w, r)
 	case r.URL.Path == deltahttp.MetricsPath:
 		s.serveMetrics(w)
+	case r.URL.Path == deltahttp.StorePath:
+		s.serveStore(w)
 	case r.Method != http.MethodGet:
 		// Only GET responses are delta-encoded; everything else passes
 		// through untouched (transparency).
@@ -199,6 +201,16 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 		st.BytesDirect, st.BytesDelta, st.BytesFull, st.Classes, st.StorageBytes, st.Savings())
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, s.engine.Metrics().Snapshot())
+}
+
+// serveStore serves the storage-governance snapshot: budget, resident
+// bytes by kind, resident/tracked class counts, and the recent prune/evict
+// log. CI's store-smoke job asserts evictions through this endpoint.
+func (s *Server) serveStore(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.engine.StoreStats())
 }
 
 // serveMetrics serves the engine's registry as Prometheus text exposition —

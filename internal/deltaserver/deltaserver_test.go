@@ -2,6 +2,7 @@ package deltaserver
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -14,6 +15,7 @@ import (
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
 	"cbde/internal/origin"
+	"cbde/internal/store"
 )
 
 func testSite() *origin.Site {
@@ -189,6 +191,56 @@ func TestStatsEndpoint(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("stats missing %q:\n%s", want, body)
 		}
+	}
+}
+
+func TestStoreEndpoint(t *testing.T) {
+	const budget = 256 << 10
+	_, _, front := newStack(t, core.Config{MemBudget: budget, DisableAnonymization: true})
+	warm(t, front.URL, 4)
+
+	resp, body := doGet(t, front.URL+deltahttp.StorePath, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var st store.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("store snapshot is not valid JSON: %v\n%s", err, body)
+	}
+	if st.Budget != budget {
+		t.Errorf("budget = %d, want %d", st.Budget, budget)
+	}
+	if st.Classes == 0 || st.ResidentClasses == 0 {
+		t.Errorf("no resident classes after warm traffic: %+v", st)
+	}
+	if st.Resident.Total <= 0 || st.Resident.Total > budget {
+		t.Errorf("resident bytes %d outside (0, budget=%d]", st.Resident.Total, budget)
+	}
+}
+
+// TestStoreEndpointReportsEvictions drives a server whose budget cannot hold
+// any class and checks that the sweeps it forces are visible through the
+// admin endpoint — the signal the CI store-smoke job asserts on.
+func TestStoreEndpointReportsEvictions(t *testing.T) {
+	_, _, front := newStack(t, core.Config{MemBudget: 1, DisableAnonymization: true})
+	warm(t, front.URL, 4)
+
+	resp, body := doGet(t, front.URL+deltahttp.StorePath, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var st store.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("store snapshot is not valid JSON: %v\n%s", err, body)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("no evictions under a 1-byte budget: %+v", st)
+	}
+	if len(st.Log) == 0 {
+		t.Error("eviction log is empty despite evictions")
 	}
 }
 

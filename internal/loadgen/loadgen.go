@@ -5,11 +5,15 @@
 package loadgen
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"sync"
 	"time"
 
 	"cbde/internal/deltaclient"
+	"cbde/internal/deltahttp"
 	"cbde/internal/metrics"
 )
 
@@ -29,6 +33,11 @@ type Config struct {
 	UserPrefix string
 	// VCDIFF requests RFC 3284 payloads.
 	VCDIFF bool
+	// Verify re-fetches every document as a plain (non-capable) client
+	// with the same user identity and byte-compares it against the
+	// delta-path reconstruction; differences count as Result.Mismatches.
+	// Requires a deterministic origin (same path + user → same bytes).
+	Verify bool
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -65,6 +74,11 @@ type Result struct {
 	BaseBytes      int64 // base-file bytes downloaded
 	DeltaResponses int
 	FullResponses  int
+
+	// Mismatches counts documents whose delta-path reconstruction differed
+	// from a plain re-fetch (only with Config.Verify). Any nonzero value is
+	// a correctness failure.
+	Mismatches int
 }
 
 // RPS returns requests per second.
@@ -86,7 +100,7 @@ func (r Result) Savings() float64 {
 
 // String renders the result for the CLI.
 func (r Result) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"requests %d (%d errors) in %v = %.0f req/s\n"+
 			"latency  p50 %v  p95 %v  p99 %v\n"+
 			"transfer %d KB payload + %d KB bases for %d KB of documents (%.0f%% saved)\n"+
@@ -95,6 +109,10 @@ func (r Result) String() string {
 		r.LatencyP50.Round(time.Microsecond), r.LatencyP95.Round(time.Microsecond), r.LatencyP99.Round(time.Microsecond),
 		r.PayloadBytes/1024, r.BaseBytes/1024, r.DocumentBytes/1024, r.Savings()*100,
 		r.DeltaResponses, r.FullResponses)
+	if r.Mismatches > 0 {
+		s += fmt.Sprintf("\nVERIFY FAILED: %d document mismatches", r.Mismatches)
+	}
+	return s
 }
 
 // Run executes the load run and blocks until every client finishes.
@@ -114,26 +132,36 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			opts := []deltaclient.Option{
-				deltaclient.WithUser(fmt.Sprintf("%s-%d", cfg.UserPrefix, c)),
-			}
+			user := fmt.Sprintf("%s-%d", cfg.UserPrefix, c)
+			opts := []deltaclient.Option{deltaclient.WithUser(user)}
 			if cfg.VCDIFF {
 				opts = append(opts, deltaclient.WithVCDIFF())
 			}
 			cl := deltaclient.New(cfg.ServerURL, opts...)
 
 			var docBytes int64
-			errs := 0
+			errs, mismatches := 0, 0
 			for i := 0; i < cfg.RequestsPerClient; i++ {
 				path := cfg.Paths[(c+i)%len(cfg.Paths)]
 				t0 := time.Now()
-				doc, err := cl.Get(path)
+				doc, _ := cl.Get(path)
 				lat.Observe(float64(time.Since(t0).Nanoseconds()))
-				if err != nil {
+				if doc == nil {
+					// err with a document is a non-fatal base-refresh
+					// failure (e.g. the advertised base was evicted before
+					// the client fetched it); the response itself is good.
 					errs++
 					continue
 				}
 				docBytes += int64(len(doc))
+				if cfg.Verify {
+					plain, err := fetchPlain(cfg.ServerURL+path, user)
+					if err != nil {
+						errs++
+					} else if !bytes.Equal(doc, plain) {
+						mismatches++
+					}
+				}
 			}
 			st := cl.Stats()
 			mu.Lock()
@@ -144,6 +172,7 @@ func Run(cfg Config) (Result, error) {
 			res.BaseBytes += st.BaseBytes
 			res.DeltaResponses += st.DeltaResponses
 			res.FullResponses += st.FullResponses
+			res.Mismatches += mismatches
 			mu.Unlock()
 		}(c)
 	}
@@ -154,4 +183,24 @@ func Run(cfg Config) (Result, error) {
 	res.LatencyP95 = time.Duration(lat.Quantile(0.95))
 	res.LatencyP99 = time.Duration(lat.Quantile(0.99))
 	return res, nil
+}
+
+// fetchPlain fetches a document as a non-capable client would: no delta
+// headers, just the user identity. The delta-server proxies it through
+// untouched, so the body is ground truth for verification.
+func fetchPlain(url, user string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(deltahttp.HeaderUser, user)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: plain fetch %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }

@@ -117,6 +117,60 @@ func TestRunVCDIFF(t *testing.T) {
 	}
 }
 
+// TestRunVerifyUnderBudget drives a budgeted delta-server with more classes
+// than its budget holds while byte-comparing every reconstruction against a
+// plain re-fetch: eviction churn must never corrupt a served document. This
+// is the in-process twin of CI's store-smoke job.
+func TestRunVerifyUnderBudget(t *testing.T) {
+	site := origin.NewSite(origin.Config{
+		Host:          "www.load.com",
+		Depts:         []origin.Dept{{Name: "catalog", Items: 3}, {Name: "outlet", Items: 3}},
+		TemplateBytes: 6000,
+		ItemBytes:     500,
+		ChurnBytes:    200,
+		Seed:          45,
+	})
+	originSrv := httptest.NewServer(site.Handler())
+	t.Cleanup(originSrv.Close)
+	eng, err := core.NewEngine(core.Config{
+		MemBudget:            8 << 10,
+		DisableAnonymization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := deltaserver.New(originSrv.URL, eng, deltaserver.WithPublicHost("www.load.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv)
+	t.Cleanup(front.Close)
+
+	res, err := Run(Config{
+		ServerURL:         front.URL,
+		Paths:             []string{"/catalog/0", "/catalog/1", "/catalog/2", "/outlet/0", "/outlet/1", "/outlet/2"},
+		Clients:           4,
+		RequestsPerClient: 30,
+		Verify:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("mismatches = %d: eviction churn corrupted served documents", res.Mismatches)
+	}
+	st := eng.StoreStats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions; the budget never bit (store stats: %+v)", st)
+	}
+	if st.Resident.Total > 8<<10 {
+		t.Errorf("resident bytes %d exceed budget after run", st.Resident.Total)
+	}
+}
+
 func TestRunErrorsCounted(t *testing.T) {
 	// Nothing listening: every request errors but the run completes.
 	res, err := Run(Config{

@@ -40,12 +40,16 @@ const (
 	StageEncode
 	// StageGzip is delta compression.
 	StageGzip
+	// StageEvict is store budget maintenance: the prune/evict sweep that
+	// runs after the response is built when resident bytes exceed the
+	// memory budget. Zero for unbudgeted engines and under-budget requests.
+	StageEvict
 
 	// NumStages is the number of stages; valid stages are < NumStages.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"route", "select", "anon", "encode", "gzip"}
+var stageNames = [NumStages]string{"route", "select", "anon", "encode", "gzip", "evict"}
 
 // String implements fmt.Stringer.
 func (s Stage) String() string {
@@ -58,7 +62,7 @@ func (s Stage) String() string {
 // Stages lists every stage in pipeline order, for callers that pre-resolve
 // per-stage metrics.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageEncode, StageGzip}
+	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageEncode, StageGzip, StageEvict}
 }
 
 // Span is the accumulated cost of one stage within one trace.

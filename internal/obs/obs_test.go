@@ -140,6 +140,7 @@ func TestStageString(t *testing.T) {
 		StageAnon:   "anon",
 		StageEncode: "encode",
 		StageGzip:   "gzip",
+		StageEvict:  "evict",
 	}
 	for s, name := range want {
 		if s.String() != name {

@@ -1,0 +1,230 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EvictionRecord is one entry of the budgeted store's maintenance log.
+type EvictionRecord struct {
+	Key        string    `json:"key"`
+	Kind       string    `json:"kind"` // "prune" or "evict"
+	FreedBytes int64     `json:"freedBytes"`
+	At         time.Time `json:"at"`
+}
+
+// evictionLogSize bounds the maintenance log kept for the admin endpoint.
+const evictionLogSize = 64
+
+// Budgeted is a Map governed by a byte budget. Over budget, Maintain first
+// prunes every entry's redundant payload (old base versions, sampled
+// candidates), then runs CLOCK second-chance eviction of whole entries
+// until resident bytes fit the budget again.
+//
+// Entries stay in the map after eviction; only their payload is released.
+// The eviction ring therefore only ever grows, and an evicted entry that
+// re-warms from traffic is a normal CLOCK citizen again.
+type Budgeted struct {
+	m      *Map
+	budget int64
+	now    func() time.Time
+
+	// maintMu admits one maintainer at a time; contenders skip (TryLock)
+	// so a request's hot path never queues behind an eviction sweep.
+	maintMu sync.Mutex
+
+	// mu guards the ring, the clock hand, and the log.
+	mu   sync.Mutex
+	ring []*slot
+	hand int
+	log  [evictionLogSize]EvictionRecord
+	logN int64 // total records ever written; log[(logN-1)%size] is newest
+
+	prunes    atomic.Int64
+	evictions atomic.Int64
+}
+
+var _ ClassStore = (*Budgeted)(nil)
+
+// NewBudgeted returns an empty store that keeps resident bytes at or under
+// budget (bytes). now supplies timestamps for the eviction log; nil means
+// time.Now.
+func NewBudgeted(budget int64, now func() time.Time) *Budgeted {
+	if now == nil {
+		now = time.Now
+	}
+	b := &Budgeted{m: NewMap(), budget: budget, now: now}
+	b.m.onCreate = b.register
+	return b
+}
+
+// register adds a newly created slot to the eviction ring. Called by the
+// underlying Map under the shard write lock; lock order is therefore
+// shard.mu → b.mu, and Maintain never touches shard locks.
+func (b *Budgeted) register(s *slot) {
+	b.mu.Lock()
+	b.ring = append(b.ring, s)
+	b.mu.Unlock()
+}
+
+// Get implements ClassStore.
+func (b *Budgeted) Get(key string) (Entry, bool) { return b.m.Get(key) }
+
+// GetOrCreate implements ClassStore.
+func (b *Budgeted) GetOrCreate(key string, create func() Entry) (Entry, bool) {
+	return b.m.GetOrCreate(key, create)
+}
+
+// ForEach implements ClassStore.
+func (b *Budgeted) ForEach(fn func(key string, e Entry) bool) { b.m.ForEach(fn) }
+
+// Len implements ClassStore.
+func (b *Budgeted) Len() int { return b.m.Len() }
+
+// Accountant implements ClassStore.
+func (b *Budgeted) Accountant() *Accountant { return &b.m.acct }
+
+// Budget implements ClassStore.
+func (b *Budgeted) Budget() int64 { return b.budget }
+
+// over reports whether resident bytes exceed the budget.
+func (b *Budgeted) over() bool { return b.m.acct.Total() > b.budget }
+
+// Maintain implements ClassStore: while resident bytes exceed the budget it
+// degrades storage in two passes and returns the bytes freed.
+//
+//	Pass 1 (prune): every entry drops redundant payload — old base-file
+//	versions and sampled candidate documents — cheapest degradation first,
+//	since a pruned class keeps serving deltas against its newest base.
+//	Pass 2 (CLOCK): second-chance eviction over the ring. An entry whose
+//	reference bit is set (touched since the last sweep) is spared once;
+//	on the second encounter its whole payload is released and the class
+//	degrades to full responses until traffic re-warms it.
+//
+// Only one maintainer sweeps at a time; a contender that loses the lock
+// returns immediately rather than queueing. Its freshly installed bytes are
+// still collected: an install always precedes the loser's lock attempt, and
+// the attempt can only fail while the winner holds the lock, so the
+// winner's post-release budget re-check observes the install and triggers
+// another sweep. The enforcement bound is therefore: once every Maintain
+// call has returned, resident bytes are at or under budget.
+//
+// A sweep frees bytes whenever any entry holds them (the hard pass below
+// ignores reference bits once the polite passes fail), so a zero-freed
+// sweep means every ringed entry is empty; remaining over budget then can
+// only mean a misaccounted entry, and giving up beats spinning.
+func (b *Budgeted) Maintain() int64 {
+	var freed int64
+	for b.over() {
+		if !b.maintMu.TryLock() {
+			return freed // the lock holder re-checks after it releases
+		}
+		f := b.sweep()
+		b.maintMu.Unlock()
+		freed += f
+		if f == 0 {
+			break
+		}
+	}
+	return freed
+}
+
+// sweep runs one prune pass and one CLOCK pass over a snapshot of the
+// ring and returns the bytes freed. The caller holds maintMu.
+func (b *Budgeted) sweep() int64 {
+	b.mu.Lock()
+	ring := b.ring[:len(b.ring):len(b.ring)]
+	hand := b.hand
+	b.mu.Unlock()
+	n := len(ring)
+	if n == 0 {
+		return 0
+	}
+
+	var freed int64
+	for i := 0; i < n && b.over(); i++ {
+		s := ring[(hand+i)%n]
+		if f := s.entry.Prune(); f > 0 {
+			freed += f
+			b.prunes.Add(1)
+			b.record("prune", s.key, f)
+		}
+	}
+	for i := 0; i < 2*n && b.over(); i++ {
+		s := ring[hand]
+		hand = (hand + 1) % n
+		if s.ref.Swap(false) {
+			continue // second chance: touched since the last sweep
+		}
+		if s.entry.ResidentBytes() == 0 {
+			continue // already empty; nothing to release
+		}
+		f := s.entry.Evict()
+		freed += f
+		b.evictions.Add(1)
+		b.record("evict", s.key, f)
+	}
+	// Hard pass: still over budget with every entry recently touched —
+	// concurrent traffic can re-set reference bits faster than the
+	// second-chance pass clears them, sparing everything. The budget is a
+	// cap, not a preference, so evict regardless of recency; victims
+	// re-warm from traffic like any other evicted class.
+	for i := 0; i < n && b.over(); i++ {
+		s := ring[hand]
+		hand = (hand + 1) % n
+		if s.entry.ResidentBytes() == 0 {
+			continue
+		}
+		f := s.entry.Evict()
+		freed += f
+		b.evictions.Add(1)
+		b.record("evict", s.key, f)
+	}
+	b.mu.Lock()
+	b.hand = hand
+	b.mu.Unlock()
+	return freed
+}
+
+// record appends one action to the bounded maintenance log.
+func (b *Budgeted) record(kind, key string, freedBytes int64) {
+	b.mu.Lock()
+	b.log[b.logN%evictionLogSize] = EvictionRecord{
+		Key:        key,
+		Kind:       kind,
+		FreedBytes: freedBytes,
+		At:         b.now(),
+	}
+	b.logN++
+	b.mu.Unlock()
+}
+
+// Stats implements ClassStore.
+func (b *Budgeted) Stats() Stats {
+	st := Stats{
+		Budget:    b.budget,
+		Resident:  b.m.acct.Usage(),
+		Prunes:    b.prunes.Load(),
+		Evictions: b.evictions.Load(),
+	}
+	b.ForEach(func(_ string, e Entry) bool {
+		st.Classes++
+		if e.ResidentBytes() > 0 {
+			st.ResidentClasses++
+		}
+		return true
+	})
+	b.mu.Lock()
+	total := b.logN
+	kept := total
+	if kept > evictionLogSize {
+		kept = evictionLogSize
+	}
+	st.Log = make([]EvictionRecord, 0, kept)
+	for i := total - kept; i < total; i++ {
+		st.Log = append(st.Log, b.log[i%evictionLogSize])
+	}
+	b.mu.Unlock()
+	return st
+}

@@ -1,0 +1,278 @@
+// Package store is the ownership layer for the engine's per-class serving
+// state. The paper's scalability argument is that a delta-server stores one
+// base-file per class instead of one per document — but "one per class" is
+// still unbounded when classes keep arriving, so production storage must be
+// a governed resource: every resident byte is accounted, and a configurable
+// budget triggers graceful degradation (base-version pruning, then whole-
+// class eviction) instead of unbounded growth.
+//
+// The package provides:
+//
+//   - Accountant: a byte-accurate, category-split ledger (distributable
+//     base versions, selector-held documents, codec indexes) updated with
+//     atomics by the owning entries.
+//   - ClassStore: the interface the engine programs against — a sharded
+//     key→Entry map plus the accountant and a Maintain hook.
+//   - Map: the default implementation, the unbudgeted sharded map the
+//     engine always had. Maintain is a no-op.
+//   - Budgeted: a Map governed by a byte budget. Maintain prunes redundant
+//     per-class payload first, then runs CLOCK (second-chance) eviction of
+//     whole classes until resident bytes fit the budget again, keeping an
+//     eviction log for the admin endpoint.
+//
+// Entries are never deleted from the map: eviction strips an entry's
+// payload (Entry.Evict) and leaves the entry resident so its identity,
+// counters, and version numbering survive — the degradation contract is
+// that an evicted class falls back to full responses and re-warms from
+// traffic, never erroring and never reusing a version number.
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Usage is a point-in-time snapshot of the accountant's ledger.
+type Usage struct {
+	// BaseBytes is distributable (installed) base-file version bytes.
+	BaseBytes int64 `json:"baseBytes"`
+	// CandBytes is selector-held document bytes: sampled candidates,
+	// reference samples, and the selector's working base.
+	CandBytes int64 `json:"candidateBytes"`
+	// IndexBytes is codec index bytes built over installed base versions.
+	IndexBytes int64 `json:"indexBytes"`
+	// Total is the sum of the categories.
+	Total int64 `json:"total"`
+}
+
+// Accountant tracks resident bytes by category. All methods are atomic and
+// safe for concurrent use; deltas may be negative. The zero value is ready
+// to use.
+type Accountant struct {
+	base  atomic.Int64
+	cand  atomic.Int64
+	index atomic.Int64
+}
+
+// AddBase adjusts the distributable base-version byte count.
+func (a *Accountant) AddBase(delta int64) { a.base.Add(delta) }
+
+// AddCand adjusts the selector-held document byte count.
+func (a *Accountant) AddCand(delta int64) { a.cand.Add(delta) }
+
+// AddIndex adjusts the codec index byte count.
+func (a *Accountant) AddIndex(delta int64) { a.index.Add(delta) }
+
+// Total returns the resident byte total across all categories.
+func (a *Accountant) Total() int64 {
+	return a.base.Load() + a.cand.Load() + a.index.Load()
+}
+
+// Usage returns a snapshot of the ledger. The categories are read
+// independently, so a concurrent mutation can skew Total by one in-flight
+// delta; callers use it for reporting, not enforcement.
+func (a *Accountant) Usage() Usage {
+	u := Usage{
+		BaseBytes:  a.base.Load(),
+		CandBytes:  a.cand.Load(),
+		IndexBytes: a.index.Load(),
+	}
+	u.Total = u.BaseBytes + u.CandBytes + u.IndexBytes
+	return u
+}
+
+// Entry is one class's serving state as the store sees it: a resident-byte
+// ledger plus two levels of release. Implementations must be safe for
+// concurrent use and must keep the owning Accountant in sync with every
+// byte they retain or release.
+type Entry interface {
+	// ResidentBytes reports the entry's current resident footprint.
+	ResidentBytes() int64
+	// Prune drops redundant payload — old base-file versions, sampled
+	// candidate documents — while keeping the entry serving deltas
+	// against its newest base. Returns the bytes freed.
+	Prune() int64
+	// Evict drops all resident payload. The entry must keep serving
+	// (full responses) and re-warm from traffic; version numbering must
+	// survive so a re-warmed entry never reuses a version. Returns the
+	// bytes freed.
+	Evict() int64
+}
+
+// ClassStore owns the key→Entry table. Implementations are safe for
+// concurrent use.
+type ClassStore interface {
+	// Get returns the entry for key, if present, marking it
+	// recently-used for the eviction policy.
+	Get(key string) (Entry, bool)
+	// GetOrCreate returns the entry for key, calling create (exactly
+	// once per key) to make it when absent. created reports whether this
+	// call created it.
+	GetOrCreate(key string, create func() Entry) (e Entry, created bool)
+	// ForEach calls fn for every entry until fn returns false. fn runs
+	// with internal locks held and must not call back into the store.
+	ForEach(fn func(key string, e Entry) bool)
+	// Len returns the number of entries.
+	Len() int
+	// Accountant returns the store's byte ledger. Entries update it.
+	Accountant() *Accountant
+	// Maintain enforces the store's budget, if any: over budget it
+	// prunes and then evicts entries until resident bytes fit again.
+	// Returns the bytes freed (0 when under budget or unbudgeted). Call
+	// it with no entry locks held.
+	Maintain() int64
+	// Budget returns the byte budget, or 0 when unbudgeted.
+	Budget() int64
+	// Stats snapshots the store for reporting.
+	Stats() Stats
+}
+
+// Stats is a reporting snapshot of a ClassStore.
+type Stats struct {
+	// Budget is the byte budget (0 = unbudgeted).
+	Budget int64 `json:"budget"`
+	// Resident is the accountant's current ledger.
+	Resident Usage `json:"residentBytes"`
+	// Classes is the number of entries (resident or evicted).
+	Classes int `json:"classes"`
+	// ResidentClasses is the number of entries with resident payload.
+	ResidentClasses int `json:"residentClasses"`
+	// Prunes and Evictions count budget-driven maintenance actions.
+	Prunes    int64 `json:"prunes"`
+	Evictions int64 `json:"evictions"`
+	// Log is the most recent maintenance actions, oldest first.
+	Log []EvictionRecord `json:"recentEvictions,omitempty"`
+}
+
+// shardCount sizes the sharded table. A power of two so the shard pick is
+// a mask; 64 shards keep cross-class contention negligible well past the
+// goroutine counts a delta-server front runs.
+const shardCount = 64
+
+// shardOf maps a key to its shard index (FNV-1a).
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (shardCount - 1)
+}
+
+// slot wraps one entry with its CLOCK reference bit.
+type slot struct {
+	key   string
+	entry Entry
+	ref   atomic.Bool // set on access, cleared by the eviction sweep
+}
+
+type mapShard struct {
+	mu    sync.RWMutex
+	slots map[string]*slot
+}
+
+// Map is the default ClassStore: the sharded map the engine always used,
+// with no budget. Maintain is a no-op.
+type Map struct {
+	acct   Accountant
+	shards [shardCount]mapShard
+
+	// onCreate, when set (by Budgeted), registers every new slot with the
+	// eviction ring. Called under the shard write lock.
+	onCreate func(*slot)
+}
+
+var _ ClassStore = (*Map)(nil)
+
+// NewMap returns an empty unbudgeted store.
+func NewMap() *Map {
+	m := &Map{}
+	for i := range m.shards {
+		m.shards[i].slots = make(map[string]*slot)
+	}
+	return m
+}
+
+// Get implements ClassStore. The fast path is one shard read lock and one
+// atomic store for the reference bit; it does not allocate.
+func (m *Map) Get(key string) (Entry, bool) {
+	sh := &m.shards[shardOf(key)]
+	sh.mu.RLock()
+	s := sh.slots[key]
+	sh.mu.RUnlock()
+	if s == nil {
+		return nil, false
+	}
+	s.ref.Store(true)
+	return s.entry, true
+}
+
+// GetOrCreate implements ClassStore. The fast path is Get; creation
+// re-checks under the shard write lock so create runs exactly once per key.
+func (m *Map) GetOrCreate(key string, create func() Entry) (Entry, bool) {
+	if e, ok := m.Get(key); ok {
+		return e, false
+	}
+	sh := &m.shards[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.slots[key]; ok {
+		s.ref.Store(true)
+		return s.entry, false
+	}
+	s := &slot{key: key, entry: create()}
+	s.ref.Store(true)
+	sh.slots[key] = s
+	if m.onCreate != nil {
+		m.onCreate(s)
+	}
+	return s.entry, true
+}
+
+// ForEach implements ClassStore.
+func (m *Map) ForEach(fn func(key string, e Entry) bool) {
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.slots {
+			if !fn(k, s.entry) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Len implements ClassStore.
+func (m *Map) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.slots)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Accountant implements ClassStore.
+func (m *Map) Accountant() *Accountant { return &m.acct }
+
+// Maintain implements ClassStore: the unbudgeted store never evicts.
+func (m *Map) Maintain() int64 { return 0 }
+
+// Budget implements ClassStore.
+func (m *Map) Budget() int64 { return 0 }
+
+// Stats implements ClassStore.
+func (m *Map) Stats() Stats {
+	st := Stats{Resident: m.acct.Usage()}
+	m.ForEach(func(string, Entry) bool {
+		st.Classes++
+		return true
+	})
+	// The unbudgeted store never evicts, so every entry is resident.
+	st.ResidentClasses = st.Classes
+	return st
+}

@@ -34,6 +34,14 @@ func (c *Coder) NewIndex(base []byte) *Index {
 // Base returns the indexed base-file bytes. Callers must not modify them.
 func (ix *Index) Base() []byte { return ix.base }
 
+// SizeBytes returns the index's resident footprint: the copied base bytes
+// plus the two flat chain arrays (int32 head and prev). Struct headers are
+// negligible next to these and are not counted. Memory-budget accounting
+// uses this to charge lazily built indexes to the owning class.
+func (ix *Index) SizeBytes() int64 {
+	return int64(len(ix.base)) + 4*int64(len(ix.idx.head)+len(ix.idx.prev))
+}
+
 // Len returns the indexed base-file length.
 func (ix *Index) Len() int { return len(ix.base) }
 
