@@ -368,6 +368,8 @@ func BenchmarkEndToEndHTTP(b *testing.B) {
 // multicore serving mix); the same-class variant hammers one class and so
 // measures residual per-class serialization. Together they put a multicore
 // data point next to the paper's single-core capacity table (Section VI-C).
+// The delta memo cache is off here so the numbers keep pricing the encode
+// pipeline itself; BenchmarkEngineProcessMemoized prices the cached path.
 func BenchmarkEngineProcessParallel(b *testing.B) {
 	variants := []struct {
 		name    string
@@ -378,20 +380,45 @@ func BenchmarkEngineProcessParallel(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
-			benchEngineParallel(b, v.classes)
+			benchEngineParallel(b, v.classes, false)
+		})
+	}
+}
+
+// BenchmarkEngineProcessMemoized is BenchmarkEngineProcessParallel with the
+// delta memo cache on (the production default) and pre-filled: every
+// measured request is a warm hit served by aliasing the cached compressed
+// delta, so the numbers price the lookup-and-share path that repeated
+// (class, version, document) traffic rides. Compare same-class here against
+// same-class in the Parallel benchmark for the memoization speedup.
+func BenchmarkEngineProcessMemoized(b *testing.B) {
+	variants := []struct {
+		name    string
+		classes int
+	}{
+		{"same-class", 1},
+		{"cross-class", 8},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			benchEngineParallel(b, v.classes, true)
 		})
 	}
 }
 
 // benchEngineParallel warms nClasses classes to the delta-serving steady
-// state and then processes delta requests from all goroutines.
-func benchEngineParallel(b *testing.B, nClasses int) {
+// state and then processes delta requests from all goroutines. With
+// memoized set, the delta cache stays on and is pre-filled so measurement
+// starts at a 100% hit rate; otherwise the cache is disabled and every
+// request encodes.
+func benchEngineParallel(b *testing.B, nClasses int, memoized bool) {
 	eng, err := core.NewEngine(core.Config{
 		Anon: anonymize.Config{M: 1, N: 2},
 		// Disable candidate sampling so the steady state is a pure
 		// route+encode path with no group-rebases mid-measurement.
-		Selector: basefile.Config{SampleProb: -1},
-		Now:      monotonic(),
+		Selector:      basefile.Config{SampleProb: -1},
+		DeltaCacheOff: !memoized,
+		Now:           monotonic(),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -446,6 +473,25 @@ func benchEngineParallel(b *testing.B, nClasses int) {
 		urls[c] = fmt.Sprintf("www.cap%d.com/catalog/0", c)
 	}
 
+	if memoized {
+		// Lead every (class, doc) key once so the measured loop is pure
+		// warm hits.
+		for c, cl := range classes {
+			for _, doc := range cl.docs {
+				resp, err := eng.Process(core.Request{
+					URL: urls[c], UserID: "bench", Doc: doc,
+					HaveClassID: cl.id, HaveVersion: cl.version,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Kind != core.KindDelta {
+					b.Fatalf("prefill expected delta response, got %v", resp.Kind)
+				}
+			}
+		}
+	}
+
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -471,6 +517,10 @@ func benchEngineParallel(b *testing.B, nClasses int) {
 	})
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	if memoized {
+		dc := eng.DeltaCacheStats()
+		b.ReportMetric(float64(dc.Hits)/float64(dc.Hits+dc.Misses+dc.Coalesced), "hit-frac")
+	}
 }
 
 // BenchmarkEngineProcessBudgeted measures the memory-governed store on the

@@ -43,6 +43,9 @@ var coreSeries = []string{
 	"cbde_class_bytes_shipped_total",
 	"cbde_bytes_saved_total",
 	"cbde_classes",
+	"cbde_delta_cache_hits_total",
+	"cbde_delta_cache_misses_total",
+	"cbde_delta_cache_coalesced_total",
 	"cbde_stage_duration_seconds_bucket",
 	"cbde_stage_duration_seconds_sum",
 	"cbde_stage_duration_seconds_count",
@@ -127,7 +130,10 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 	out.Write(global)
 
 	if body, err := fetch(client, server+deltahttp.StorePath); err == nil {
-		var st store.Stats
+		var st struct {
+			store.Stats
+			DeltaCache core.DeltaCacheStats `json:"deltaCache"`
+		}
 		if err := json.Unmarshal(body, &st); err != nil {
 			return fmt.Errorf("parse store snapshot: %w", err)
 		}
@@ -135,10 +141,14 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		if st.Budget > 0 {
 			budget = fmt.Sprintf("%d budget", st.Budget)
 		}
-		fmt.Fprintf(out, "\nstore: %d resident bytes (%s; base %d, cand %d, index %d), %d/%d classes resident, %d prunes, %d evictions\n",
+		fmt.Fprintf(out, "\nstore: %d resident bytes (%s; base %d, cand %d, index %d, delta %d), %d/%d classes resident, %d prunes, %d evictions\n",
 			st.Resident.Total, budget,
-			st.Resident.BaseBytes, st.Resident.CandBytes, st.Resident.IndexBytes,
+			st.Resident.BaseBytes, st.Resident.CandBytes, st.Resident.IndexBytes, st.Resident.DeltaBytes,
 			st.ResidentClasses, st.Classes, st.Prunes, st.Evictions)
+		if dc := st.DeltaCache; dc.Enabled {
+			fmt.Fprintf(out, "delta-cache: %d hits, %d misses, %d coalesced, %d entries (%d bytes), %d invalidations\n",
+				dc.Hits, dc.Misses, dc.Coalesced, dc.Entries, dc.Bytes, dc.Invalidations)
+		}
 		for i := max(0, len(st.Log)-3); i < len(st.Log); i++ {
 			r := st.Log[i]
 			fmt.Fprintf(out, "  %s %s freed %d bytes at %s\n",

@@ -62,6 +62,9 @@ func run(args []string) error {
 
 		memBudget = fs.String("mem-budget", "", "class-storage byte budget with optional k/m/g suffix (e.g. 64m); empty = unbudgeted")
 
+		deltaCache        = fs.Bool("delta-cache", true, "memoize encoded deltas per class with singleflight coalescing")
+		deltaCacheEntries = fs.Int("delta-cache-entries", 0, "max memoized deltas per class (0 = default 256)")
+
 		stateFile = fs.String("state", "", "persist engine state to this file (load at start, save on shutdown)")
 		stateSave = fs.Duration("state-save-every", 5*time.Minute, "periodic state-save interval (with -state)")
 
@@ -103,8 +106,10 @@ func run(args []string) error {
 			RebaseTimeout: *rebaseTO,
 			AsyncSampling: true,
 		},
-		Anon:          anonymize.Config{M: *anonM, N: *anonN},
-		MaxDeltaRatio: *maxDeltaRatio,
+		Anon:              anonymize.Config{M: *anonM, N: *anonN},
+		MaxDeltaRatio:     *maxDeltaRatio,
+		DeltaCacheOff:     !*deltaCache,
+		DeltaCacheEntries: *deltaCacheEntries,
 	})
 	if err != nil {
 		return err

@@ -33,6 +33,7 @@ func run(args []string) error {
 		requests = fs.Int("requests", 50, "requests per client")
 		vcdiff   = fs.Bool("vcdiff", false, "request RFC 3284 VCDIFF payloads")
 		verify   = fs.Bool("verify", false, "byte-compare every reconstruction against a plain re-fetch; exit non-zero on mismatch")
+		repeat   = fs.Float64("repeat", 0, "fraction of requests repeating the previous path (0..1); exercises the delta memo cache")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +52,7 @@ func run(args []string) error {
 		RequestsPerClient: *requests,
 		VCDIFF:            *vcdiff,
 		Verify:            *verify,
+		RepeatRatio:       *repeat,
 	})
 	if err != nil {
 		return err

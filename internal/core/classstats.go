@@ -137,9 +137,10 @@ func (e *Engine) collect(c *metrics.Collection) {
 		{"base", st.Resident.BaseBytes},
 		{"cand", st.Resident.CandBytes},
 		{"index", st.Resident.IndexBytes},
+		{"delta", st.Resident.DeltaBytes},
 	} {
 		c.Gauge("cbde_store_resident_bytes",
-			"Resident class-storage bytes by kind (base versions, selector candidates, codec indexes).",
+			"Resident class-storage bytes by kind (base versions, selector candidates, codec indexes, memoized deltas).",
 			[]metrics.Label{{Name: "kind", Value: kind.name}}, float64(kind.value))
 	}
 	c.Gauge("cbde_store_budget_bytes",
@@ -157,6 +158,15 @@ func (e *Engine) collect(c *metrics.Collection) {
 	c.Counter("cbde_store_rewarms_total",
 		"Evicted classes that regained a distributable base from traffic.",
 		nil, float64(e.ctr.rewarms.Value()))
+	c.Counter("cbde_delta_cache_hits_total",
+		"Delta responses served from the memo cache without encoding.",
+		nil, float64(e.ctr.memoHits.Value()))
+	c.Counter("cbde_delta_cache_misses_total",
+		"Memo-cache misses: requests that led a fresh delta encode.",
+		nil, float64(e.ctr.memoMisses.Value()))
+	c.Counter("cbde_delta_cache_coalesced_total",
+		"Requests that coalesced onto another request's in-flight encode.",
+		nil, float64(e.ctr.memoCoalesced.Value()))
 
 	now := e.cfg.Now()
 	states := e.states()

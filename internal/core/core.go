@@ -23,6 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"cbde/internal/anonymize"
 	"cbde/internal/basefile"
 	"cbde/internal/classify"
+	"cbde/internal/deltacache"
 	"cbde/internal/gzipx"
 	"cbde/internal/metrics"
 	"cbde/internal/obs"
@@ -105,6 +107,15 @@ type Config struct {
 	// and re-warms from traffic, never erroring. 0 (default) disables
 	// governance: classes are retained forever, as before.
 	MemBudget int64
+	// DeltaCacheOff disables delta memoization. By default the engine
+	// memoizes each encoded (class, fromVersion, document, format) delta
+	// with singleflight coalescing (internal/deltacache), so repeated and
+	// concurrent requests for the same delta share one encode and one
+	// immutable payload. Cached bytes are charged to the store ledger and
+	// reclaimed by budget maintenance.
+	DeltaCacheOff bool
+	// DeltaCacheEntries caps memoized deltas per class. Default 256.
+	DeltaCacheEntries int
 	// Tracing starts the engine with pipeline span tracing enabled (see
 	// internal/obs). Default off; flip at runtime with SetTracing. Disabled
 	// tracing costs one atomic load per request and zero allocations.
@@ -354,6 +365,12 @@ type classState struct {
 	anonProc   *anonymize.Process
 	anonSource int
 
+	// deltas memoizes the class's encoded deltas (nil when disabled). It
+	// has its own lock, taken after cs.mu when both are needed; its
+	// payloads are immutable and shared with responses by aliasing. Every
+	// install, prune, evict, and anonymization-epoch bump purges it.
+	deltas *deltacache.Cache
+
 	// evicted marks the class degraded by budget maintenance: no resident
 	// base, serving full responses until traffic re-warms it. evictions and
 	// rewarms count the transitions. All three are guarded by mu.
@@ -390,6 +407,15 @@ func (cs *classState) addIndex(d int64) {
 // ResidentBytes implements store.Entry.
 func (cs *classState) ResidentBytes() int64 { return cs.res.Total() }
 
+// purgeDeltas invalidates the class's memoized deltas, returning their
+// bytes to the ledger through the cache's accounting callback. Safe with
+// or without cs.mu held (the cache has its own lock, ordered after cs.mu).
+func (cs *classState) purgeDeltas() {
+	if cs.deltas != nil {
+		cs.deltas.Purge()
+	}
+}
+
 // Prune implements store.Entry: drop every installed base version except
 // the newest distributable one, plus the selector's sampled candidate
 // documents. The class keeps serving deltas against its newest base;
@@ -404,6 +430,9 @@ func (cs *classState) Prune() int64 {
 		}
 	}
 	cs.selector.DropSamples()
+	// Memoized deltas are derived data: the cheapest payload to shed and
+	// to regrow, and some were encoded against the versions just dropped.
+	cs.purgeDeltas()
 	cs.mu.Unlock()
 	if freed := before - cs.res.Total(); freed > 0 {
 		return freed
@@ -434,6 +463,7 @@ func (cs *classState) Evict() int64 {
 		cs.evictions++
 	}
 	cs.selector.DropStored()
+	cs.purgeDeltas()
 	cs.mu.Unlock()
 	if freed := before - cs.res.Total(); freed > 0 {
 		return freed
@@ -470,6 +500,10 @@ type hotCounters struct {
 	anonCompleted  *metrics.Counter
 	basesInstalled *metrics.Counter
 	rewarms        *metrics.Counter
+	memoHits       *metrics.Counter // memoized delta served without encoding
+	memoMisses     *metrics.Counter // cache misses (the request led the encode)
+	memoCoalesced  *metrics.Counter // requests that waited on a leader's encode
+	encodeRuns     *metrics.Counter // delta encodes actually executed
 }
 
 // Engine implements class-based delta-encoding. Create one with NewEngine;
@@ -494,6 +528,14 @@ type Engine struct {
 	// it returns. Response.Payload never aliases a pooled buffer: it is
 	// either a fresh gzip output or a fresh copy of the scratch.
 	encBufs sync.Pool
+
+	// anonEpoch is the engine-wide anonymization epoch. Bumping it (see
+	// BumpAnonEpoch) invalidates every memoized delta: cached payloads
+	// embed anonymized base content, so a policy change must not let them
+	// outlive it. docSeed keys the per-request document fingerprint used in
+	// memo-cache keys.
+	anonEpoch atomic.Uint64
+	docSeed   maphash.Seed
 
 	reg *metrics.Registry
 	ctr hotCounters
@@ -557,7 +599,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		anonCompleted:  e.reg.Counter("anon.completed"),
 		basesInstalled: e.reg.Counter("bases.installed"),
 		rewarms:        e.reg.Counter("store.rewarms"),
+		memoHits:       e.reg.Counter("memo.hits"),
+		memoMisses:     e.reg.Counter("memo.misses"),
+		memoCoalesced:  e.reg.Counter("memo.coalesced"),
+		encodeRuns:     e.reg.Counter("encode.runs"),
 	}
+	e.docSeed = maphash.MakeSeed()
 	if cfg.Mode == ModeClassBased {
 		e.classify = classify.NewManager(cfg.Classify)
 	}
@@ -635,6 +682,14 @@ func (e *Engine) newClassState(key string, class *classify.Class) *classState {
 	// budget pass once the selector lock is released.
 	selCfg.AfterAsyncAdmit = func() { e.cstore.Maintain() }
 	cs.selector = basefile.NewSelector(selCfg)
+	if !e.cfg.DeltaCacheOff {
+		// Retained payload bytes flow into the same dual ledger as base and
+		// candidate bytes, so the budget governor sees and reclaims them.
+		cs.deltas = deltacache.New(e.cfg.DeltaCacheEntries, func(d int64) {
+			cs.res.AddDelta(d)
+			e.acct.AddDelta(d)
+		})
+	}
 	return cs
 }
 
@@ -859,6 +914,11 @@ func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) 
 			obv.release()
 		}
 	}
+	// A version install is an invalidation barrier for the memo cache:
+	// deltas against dropped versions are gone with their bases, and a
+	// rebase (or anonymization completion) means the class's serving state
+	// moved — cached outcomes must not outlive it.
+	cs.purgeDeltas()
 	e.ctr.basesInstalled.Inc()
 }
 
@@ -894,24 +954,99 @@ func (e *Engine) latestVersion(cs *classState) int {
 }
 
 // respond chooses between a delta and a full response. It runs with no
-// class lock held: the snapshot's base bytes and codec index are immutable,
-// so concurrent requests to one class overlap on the encode. Before
-// answering, the class's distributable version is re-read under the lock
-// (encode-then-revalidate) so clients learn about rebases that landed while
-// we were encoding; the delta itself stays valid regardless, because it was
-// computed against bytes the client holds.
+// class lock held. With the delta cache enabled (the default) it first
+// consults the class's memo cache: a committed result is served by
+// aliasing the immutable cached payload, a concurrent encode for the same
+// key is joined (singleflight — the caller blocks until the leader
+// commits and shares its outcome), and only a cold key actually encodes,
+// via encodeResponse, then commits the outcome for every sharer.
 //
-// The vdelta path encodes into a pooled scratch buffer and gzips from it,
-// so a steady-state delta response allocates only the returned payload.
+// The memo key fingerprints the document content, so two requests share a
+// result only when they hold the same base version and carry byte-equal
+// documents in the same wire format; the anonymization epoch guards the
+// whole cache (see deltacache.Cache.Acquire).
 func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now time.Time, tr *obs.Trace) Response {
 	if snap.base == nil {
 		return Response{Kind: KindFull, LatestVersion: snap.distVersion}
 	}
-
 	format := req.Format
 	if format == 0 {
 		format = FormatVdelta
 	}
+	if cs.deltas == nil {
+		return e.encodeResponse(cs, snap, req, format, now, tr)
+	}
+
+	t0 := tr.Now()
+	key := deltacache.Key{
+		From:    snap.clientVersion,
+		DocHash: maphash.Bytes(e.docSeed, req.Doc),
+		DocLen:  len(req.Doc),
+		Format:  uint8(format),
+	}
+	res, fl, st := cs.deltas.Acquire(key, e.anonEpoch.Load())
+	switch st {
+	case deltacache.StatusHit:
+		e.ctr.memoHits.Inc()
+	case deltacache.StatusCoalesced:
+		res = fl.Wait()
+		e.ctr.memoCoalesced.Inc()
+	default: // StatusLead: this request owns the encode for the key.
+		e.ctr.memoMisses.Inc()
+		tr.Record(obs.StageMemo, t0, 0)
+		resp := e.encodeResponse(cs, snap, req, format, now, tr)
+		out := deltacache.Result{Outcome: deltacache.OutcomeFull}
+		switch {
+		case resp.Kind == KindDelta:
+			// The payload is a fresh allocation (never pooled scratch; see
+			// encodeResponse), so retaining and sharing it by alias is safe.
+			out = deltacache.Result{
+				Outcome: deltacache.OutcomeDelta,
+				Payload: resp.Payload,
+				Gzipped: resp.Gzipped,
+			}
+		case resp.BasicRebase:
+			out.Outcome = deltacache.OutcomeTooBig
+		}
+		cs.deltas.Commit(fl, out)
+		return resp
+	}
+
+	tr.Record(obs.StageMemo, t0, int64(len(res.Payload)))
+	switch res.Outcome {
+	case deltacache.OutcomeDelta:
+		return Response{
+			Kind:          KindDelta,
+			BaseVersion:   snap.clientVersion,
+			LatestVersion: e.latestVersion(cs),
+			Payload:       res.Payload,
+			Gzipped:       res.Gzipped,
+			Format:        format,
+		}
+	case deltacache.OutcomeTooBig:
+		// The leader's delta was oversized and it chose a rebase. Follow it
+		// through basicRebase, whose under-lock revalidation ensures only
+		// one rebase lands however many sharers take this path.
+		return e.basicRebase(cs, snap, req, now)
+	default:
+		return Response{Kind: KindFull, LatestVersion: e.latestVersion(cs)}
+	}
+}
+
+// encodeResponse performs the actual delta encode for respond. It runs
+// with no class lock held: the snapshot's base bytes and codec index are
+// immutable, so concurrent requests to one class overlap on the encode.
+// Before answering, the class's distributable version is re-read under the
+// lock (encode-then-revalidate) so clients learn about rebases that landed
+// while we were encoding; the delta itself stays valid regardless, because
+// it was computed against bytes the client holds.
+//
+// The vdelta path encodes into a pooled scratch buffer and gzips from it,
+// so a steady-state delta response allocates only the returned payload.
+// The payload never aliases pooled memory — it is a fresh gzip output or a
+// fresh copy — which is what lets respond retain it in the memo cache.
+func (e *Engine) encodeResponse(cs *classState, snap encodeSnapshot, req Request, format Format, now time.Time, tr *obs.Trace) Response {
+	e.ctr.encodeRuns.Inc()
 	var delta []byte
 	var err error
 	var scratch *encodeBuf // non-nil when delta lives in pooled memory
@@ -1147,6 +1282,60 @@ func (e *Engine) DecodeAs(base, payload []byte, gzipped bool, format Format) ([]
 // category, the budget, resident versus total classes, and the recent
 // prune/evict log. The delta-server's /_cbde/store endpoint serves it.
 func (e *Engine) StoreStats() store.Stats { return e.cstore.Stats() }
+
+// BumpAnonEpoch advances the engine-wide anonymization epoch and purges
+// every class's memoized deltas. Call it when the anonymization policy (or
+// any input to it) changes out-of-band: cached payloads embed anonymized
+// base content and must not survive the change. Purging is eager here and
+// also lazy at lookup (the epoch is checked on every cache acquire), so a
+// cache that misses the eager sweep — e.g. a class created concurrently —
+// still never serves a pre-bump payload.
+func (e *Engine) BumpAnonEpoch() {
+	e.anonEpoch.Add(1)
+	e.cstore.ForEach(func(_ string, ent store.Entry) bool {
+		ent.(*classState).purgeDeltas()
+		return true
+	})
+}
+
+// DeltaCacheStats aggregates the per-class delta memo caches for
+// reporting: the delta-server's /_cbde/store endpoint serves it alongside
+// the store ledger.
+type DeltaCacheStats struct {
+	// Enabled reports whether memoization is on (Config.DeltaCacheOff).
+	Enabled bool `json:"enabled"`
+	// Hits, Misses, and Coalesced classify every cache consult: served
+	// from cache, led an encode, or waited on another request's encode.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	// Entries and Bytes are the currently retained deltas and their
+	// payload bytes, summed over classes.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Invalidations counts entries dropped by purges and cap evictions.
+	Invalidations int64 `json:"invalidations"`
+}
+
+// DeltaCacheStats snapshots the delta memo caches across all classes.
+func (e *Engine) DeltaCacheStats() DeltaCacheStats {
+	st := DeltaCacheStats{
+		Enabled:   !e.cfg.DeltaCacheOff,
+		Hits:      e.ctr.memoHits.Value(),
+		Misses:    e.ctr.memoMisses.Value(),
+		Coalesced: e.ctr.memoCoalesced.Value(),
+	}
+	e.cstore.ForEach(func(_ string, ent store.Entry) bool {
+		if c := ent.(*classState).deltas; c != nil {
+			cst := c.Stats()
+			st.Entries += cst.Entries
+			st.Bytes += cst.Bytes
+			st.Invalidations += int64(cst.Invalidations)
+		}
+		return true
+	})
+	return st
+}
 
 // Quiesce blocks until every class's outstanding asynchronous sample
 // admissions — and the budget maintenance each one schedules — have

@@ -156,3 +156,124 @@ func FuzzEngineProcessRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzEngineProcessMemoized hardens the memoization layer with arbitrary
+// documents: the same request repeated must answer identically (the second
+// serve comes from — or refills — the memo cache), a caching engine must
+// agree byte-for-byte with a cache-off engine, and every served delta must
+// reconstruct the document exactly. Seeds cover the coalescing and
+// invalidation edges: identical documents (empty delta), far-apart
+// documents (oversized delta → rebase purges the cache mid-sequence), and
+// single-byte flips.
+func FuzzEngineProcessMemoized(f *testing.F) {
+	f.Add("www.fuzz.com/m", []byte("first version of the document"), []byte("second version of the document"))
+	f.Add("www.fuzz.com/m", []byte("identical bytes"), []byte("identical bytes"))
+	f.Add("www.fuzz.com/m?q=1", []byte{1}, []byte{2})
+	// Far-apart documents: the delta is oversized, so the repeat crosses a
+	// basic-rebase invalidation barrier.
+	f.Add("www.fuzz.com/r", bytes.Repeat([]byte{0xA7, 0x03, 0xFF, 0x5C}, 300), bytes.Repeat([]byte("zq"), 600))
+	f.Add("www.fuzz.com/n", bytes.Repeat([]byte("na"), 300), bytes.Repeat([]byte("na"), 301))
+
+	f.Fuzz(func(t *testing.T, url string, doc1, doc2 []byte) {
+		if len(doc1) == 0 || len(doc2) == 0 {
+			t.Skip("Process treats empty documents as absent")
+		}
+		cached, err := NewEngine(Config{Mode: ModeClassless})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewEngine(Config{Mode: ModeClassless, DeltaCacheOff: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// drive runs first(doc1) then doc2 twice against the same held
+		// version; on the caching engine the repeat is the memoized serve
+		// (or a re-lead across an invalidation barrier — both must be
+		// correct). Every delta is round-trip-verified.
+		drive := func(e *Engine) (a, b Response, ok bool) {
+			first, err := e.Process(Request{URL: url, UserID: "u", Doc: doc1})
+			if err != nil {
+				return a, b, false // unroutable URL; nothing to check
+			}
+			base, v, ok := e.LatestBase(first.ClassID)
+			if !ok {
+				t.Fatalf("LatestBase missing after first contact (LatestVersion=%d)", first.LatestVersion)
+			}
+			req := Request{
+				URL: url, UserID: "u", Doc: doc2,
+				HaveClassID: first.ClassID, HaveVersion: v,
+			}
+			for i, rp := range []*Response{&a, &b} {
+				resp, err := e.Process(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Kind == KindDelta {
+					if resp.BaseVersion != v {
+						t.Fatalf("pass %d: delta against version %d, client holds %d", i, resp.BaseVersion, v)
+					}
+					got, err := e.DecodeAs(base, resp.Payload, resp.Gzipped, resp.Format)
+					if err != nil {
+						t.Fatalf("pass %d: decode served delta: %v", i, err)
+					}
+					if !bytes.Equal(got, doc2) {
+						t.Fatalf("pass %d: round trip mismatch: got %d bytes, want %d", i, len(got), len(doc2))
+					}
+				}
+				*rp = resp
+			}
+			return a, b, true
+		}
+
+		ca, cb, ok := drive(cached)
+		if !ok {
+			return
+		}
+		pa, _, ok := drive(plain)
+		if !ok {
+			t.Fatal("URL routed on the caching engine but not the plain one")
+		}
+
+		// The repeat must answer like the original: the encode is
+		// deterministic, so a memoized serve and a re-encode must be
+		// indistinguishable on the wire.
+		if ca.Kind != cb.Kind {
+			t.Fatalf("repeat changed the response kind: %v then %v", ca.Kind, cb.Kind)
+		}
+		if ca.Kind == KindDelta {
+			if !bytes.Equal(ca.Payload, cb.Payload) || ca.Gzipped != cb.Gzipped {
+				t.Fatalf("repeat payload differs from the original (%d vs %d bytes)", len(cb.Payload), len(ca.Payload))
+			}
+		}
+		// Caching on vs off must be invisible on the wire.
+		if ca.Kind != pa.Kind {
+			t.Fatalf("cache-on kind %v != cache-off kind %v", ca.Kind, pa.Kind)
+		}
+		if ca.Kind == KindDelta && !bytes.Equal(ca.Payload, pa.Payload) {
+			t.Fatalf("cache-on payload differs from cache-off (%d vs %d bytes)", len(ca.Payload), len(pa.Payload))
+		}
+
+		// Cross an install barrier (the doc2 passes may have rebased) and
+		// verify the cache still serves decodable deltas against whatever
+		// base is then live.
+		if base, v, ok := cached.LatestBase(ca.ClassID); ok {
+			resp, err := cached.Process(Request{
+				URL: url, UserID: "u", Doc: doc1,
+				HaveClassID: ca.ClassID, HaveVersion: v,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.Kind == KindDelta {
+				got, err := cached.DecodeAs(base, resp.Payload, resp.Gzipped, resp.Format)
+				if err != nil {
+					t.Fatalf("decode post-barrier delta: %v", err)
+				}
+				if !bytes.Equal(got, doc1) {
+					t.Fatalf("post-barrier round trip mismatch: got %d bytes, want %d", len(got), len(doc1))
+				}
+			}
+		}
+	})
+}

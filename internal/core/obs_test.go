@@ -58,7 +58,10 @@ func warmEngine(t testing.TB, cfg Config) (*Engine, Request) {
 }
 
 func TestProcessTracedProducesSummary(t *testing.T) {
-	eng, req := warmEngine(t, Config{Anon: anonymize.Config{M: 1, N: 2}})
+	// The delta cache is off so the repeated request below re-runs the
+	// encode and gzip stages; memo-stage tracing is covered by the memo
+	// cache tests.
+	eng, req := warmEngine(t, Config{Anon: anonymize.Config{M: 1, N: 2}, DeltaCacheOff: true})
 
 	// Tracing off (the default): no summary, no per-stage observations.
 	resp, err := eng.Process(req)

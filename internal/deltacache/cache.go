@@ -1,0 +1,285 @@
+// Package deltacache memoizes encoded deltas with singleflight coalescing.
+//
+// The paper's economics assume millions of clients share a handful of
+// (class, baseVersion) pairs, so the same delta is encoded over and over.
+// This package turns that repetition into a lookup: the compressed delta
+// for one (fromVersion, document, format) key is computed once and every
+// subsequent — or concurrent — request for it shares the same immutable
+// payload bytes.
+//
+// The cache is a per-class structure owned by the engine's class state.
+// Its concurrency contract:
+//
+//   - Acquire either returns a committed result (StatusHit), blocks-free
+//     hands back an in-flight Flight to wait on (StatusCoalesced), or
+//     makes the caller the leader for the key (StatusLead). Exactly one
+//     leader exists per key per flight.
+//   - The leader encodes with no cache lock held and calls Commit, which
+//     publishes the result and wakes every waiter. Waiters share the
+//     leader's outcome verbatim — including "too big, rebase" and "serve
+//     full" outcomes — so a thundering herd performs one encode total.
+//   - Purge invalidates everything: committed payloads are uncharged and
+//     dropped; in-flight entries are unmapped but their waiters still
+//     receive the leader's result (the result was correct for the state
+//     snapshot the leader encoded against; it is simply not retained).
+//
+// Cached payloads are immutable and shared by aliasing, extending the
+// BaseFileView rules (DESIGN.md §9): callers must never mutate a payload
+// obtained from the cache, and the engine never stores pooled scratch in
+// it. Retained bytes are reported through an accounting callback so the
+// store's budget governor can reclaim them.
+//
+// Only the standard library is used.
+package deltacache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Outcome classifies what the leader's encode produced for a key.
+type Outcome uint8
+
+const (
+	// OutcomeDelta is a successful delta encode; Payload holds the
+	// (possibly gzipped) delta bytes. The only outcome retained in the
+	// cache after commit.
+	OutcomeDelta Outcome = iota
+	// OutcomeFull means the engine served the document in full (no base
+	// available for the requested version). Shared with waiters, not
+	// retained: the next request re-probes engine state.
+	OutcomeFull
+	// OutcomeTooBig means the delta exceeded the configured ratio and the
+	// engine chose a rebase. Shared with waiters (who revalidate through
+	// the engine's rebase path), not retained.
+	OutcomeTooBig
+)
+
+// Key identifies one memoizable encode. From is the base version the
+// client holds; DocHash/DocLen fingerprint the current document content
+// (the "to" side — documents arrive per-request, so content stands in for
+// a version number); Format is the wire format (vdelta/VCDIFF). The
+// anonymization epoch is deliberately not part of the key: an epoch bump
+// invalidates the whole cache instead (see Acquire).
+type Key struct {
+	From    int
+	DocHash uint64
+	DocLen  int
+	Format  uint8
+}
+
+// Result is the shared outcome of one encode. Payload is immutable and
+// aliased by every sharer; callers must not modify it.
+type Result struct {
+	Outcome Outcome
+	Payload []byte
+	Gzipped bool
+}
+
+// Status reports how Acquire resolved a key.
+type Status uint8
+
+const (
+	// StatusHit: a committed result was returned immediately.
+	StatusHit Status = iota
+	// StatusCoalesced: another goroutine is encoding this key; call
+	// Flight.Wait for its result.
+	StatusCoalesced
+	// StatusLead: the caller owns the encode for this key and must call
+	// Commit exactly once with the outcome.
+	StatusLead
+)
+
+// Flight is one in-flight encode. The leader commits it; waiters wait on
+// it. A Flight stays valid even if the cache is purged mid-encode.
+type Flight struct {
+	key   Key
+	done  chan struct{}
+	res   Result // written by Commit before done closes
+	inMap bool   // guarded by the owning cache's mu
+}
+
+// Wait blocks until the leader commits and returns the shared result.
+func (f *Flight) Wait() Result {
+	<-f.done
+	return f.res
+}
+
+// Stats is a point-in-time snapshot of one cache.
+type Stats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Coalesced     uint64 `json:"coalesced"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+}
+
+// Cache memoizes encode results for one class. Safe for concurrent use.
+type Cache struct {
+	mu         sync.Mutex
+	m          map[Key]*Flight
+	epoch      uint64 // anonymization epoch the contents are valid for
+	maxEntries int
+	bytes      int64       // committed payload bytes currently retained
+	onBytes    func(int64) // accounting callback; called under mu
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	coalesced     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// New returns an empty cache holding at most maxEntries committed deltas
+// (0 or negative means a modest default). onBytes, if non-nil, is called
+// with the byte delta every time retained payload bytes change; it runs
+// under the cache lock and must not call back into the cache.
+func New(maxEntries int, onBytes func(int64)) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 256
+	}
+	return &Cache{
+		m:          make(map[Key]*Flight),
+		maxEntries: maxEntries,
+		onBytes:    onBytes,
+	}
+}
+
+// Acquire resolves key for the given anonymization epoch.
+//
+//	StatusHit       → res is the committed result; fl is nil.
+//	StatusCoalesced → fl is an in-flight encode; call fl.Wait().
+//	StatusLead      → the caller must encode and call Commit(fl, ...).
+//
+// If epoch differs from the epoch the cache's contents were built under,
+// everything cached is invalidated first, so a stale anonymization state
+// is never served.
+func (c *Cache) Acquire(key Key, epoch uint64) (res Result, fl *Flight, st Status) {
+	c.mu.Lock()
+	if c.epoch != epoch {
+		c.purgeLocked()
+		c.epoch = epoch
+	}
+	if f, ok := c.m[key]; ok {
+		select {
+		case <-f.done:
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return f.res, nil, StatusHit
+		default:
+			c.mu.Unlock()
+			c.coalesced.Add(1)
+			return Result{}, f, StatusCoalesced
+		}
+	}
+	f := &Flight{key: key, done: make(chan struct{}), inMap: true}
+	if len(c.m) >= c.maxEntries {
+		c.evictOneLocked()
+	}
+	c.m[key] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return Result{}, f, StatusLead
+}
+
+// Commit publishes the leader's result: waiters wake with it, and a
+// delta outcome still present in the map is retained and charged to the
+// accountant. Non-delta outcomes are shared but not retained. Must be
+// called exactly once per StatusLead flight, even on failure paths —
+// otherwise coalesced waiters block forever.
+func (c *Cache) Commit(fl *Flight, res Result) {
+	c.mu.Lock()
+	fl.res = res
+	if fl.inMap {
+		if res.Outcome == OutcomeDelta {
+			c.addBytesLocked(int64(len(res.Payload)))
+		} else {
+			delete(c.m, fl.key)
+			fl.inMap = false
+		}
+	}
+	c.mu.Unlock()
+	close(fl.done)
+}
+
+// evictOneLocked drops one committed entry to make room. In-flight
+// entries are skipped (they hold no payload and will commit soon); if
+// every entry is in flight the cap is allowed to overflow by one.
+func (c *Cache) evictOneLocked() {
+	for k, f := range c.m {
+		select {
+		case <-f.done:
+		default:
+			continue
+		}
+		if f.res.Outcome == OutcomeDelta {
+			c.addBytesLocked(-int64(len(f.res.Payload)))
+		}
+		delete(c.m, k)
+		f.inMap = false
+		c.invalidations.Add(1)
+		return
+	}
+}
+
+// addBytesLocked adjusts the retained-byte ledger and notifies the
+// accounting callback. Caller holds mu.
+func (c *Cache) addBytesLocked(d int64) {
+	c.bytes += d
+	if c.onBytes != nil {
+		c.onBytes(d)
+	}
+}
+
+// Purge invalidates every cached and in-flight entry and returns the
+// payload bytes released. In-flight leaders still commit and wake their
+// waiters; their results just aren't retained.
+func (c *Cache) Purge() int64 {
+	c.mu.Lock()
+	freed := c.purgeLocked()
+	c.mu.Unlock()
+	return freed
+}
+
+func (c *Cache) purgeLocked() int64 {
+	freed := c.bytes
+	if c.bytes != 0 {
+		c.addBytesLocked(-c.bytes)
+	}
+	n := len(c.m)
+	for k, f := range c.m {
+		f.inMap = false
+		delete(c.m, k)
+	}
+	c.invalidations.Add(uint64(n))
+	return freed
+}
+
+// Bytes returns the retained payload bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Len returns the number of entries (committed plus in-flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats snapshots the cache.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := len(c.m), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       entries,
+		Bytes:         bytes,
+	}
+}

@@ -1,0 +1,237 @@
+package deltacache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLeadCommitThenHit(t *testing.T) {
+	var ledger int64
+	c := New(8, func(d int64) { ledger += d })
+	key := Key{From: 1, DocHash: 42, DocLen: 100, Format: 1}
+
+	res, fl, st := c.Acquire(key, 0)
+	if st != StatusLead {
+		t.Fatalf("first acquire = %v, want StatusLead", st)
+	}
+	if res.Payload != nil {
+		t.Fatalf("lead acquire returned a result: %+v", res)
+	}
+	payload := []byte("the gzipped delta bytes")
+	c.Commit(fl, Result{Outcome: OutcomeDelta, Payload: payload, Gzipped: true})
+	if ledger != int64(len(payload)) {
+		t.Fatalf("ledger = %d after commit, want %d", ledger, len(payload))
+	}
+
+	res, fl2, st := c.Acquire(key, 0)
+	if st != StatusHit {
+		t.Fatalf("second acquire = %v, want StatusHit", st)
+	}
+	if fl2 != nil {
+		t.Fatal("hit returned a non-nil flight")
+	}
+	if !bytes.Equal(res.Payload, payload) || !res.Gzipped || res.Outcome != OutcomeDelta {
+		t.Fatalf("hit result = %+v, want the committed payload", res)
+	}
+	if &res.Payload[0] != &payload[0] {
+		t.Fatal("hit copied the payload; it must alias the committed bytes")
+	}
+
+	st2 := c.Stats()
+	if st2.Hits != 1 || st2.Misses != 1 || st2.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss", st2)
+	}
+	if st2.Entries != 1 || st2.Bytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v, want 1 entry of %d bytes", st2, len(payload))
+	}
+}
+
+func TestNonDeltaOutcomesSharedButNotRetained(t *testing.T) {
+	for _, out := range []Outcome{OutcomeFull, OutcomeTooBig} {
+		var ledger int64
+		c := New(8, func(d int64) { ledger += d })
+		key := Key{From: 2, DocHash: 7}
+		_, fl, st := c.Acquire(key, 0)
+		if st != StatusLead {
+			t.Fatalf("outcome %d: first acquire = %v, want lead", out, st)
+		}
+		c.Commit(fl, Result{Outcome: out})
+		if got := fl.Wait(); got.Outcome != out {
+			t.Fatalf("waiter got outcome %d, want %d", got.Outcome, out)
+		}
+		if ledger != 0 {
+			t.Fatalf("outcome %d charged %d bytes", out, ledger)
+		}
+		if _, _, st := c.Acquire(key, 0); st != StatusLead {
+			t.Fatalf("outcome %d was retained: re-acquire = %v, want lead", out, st)
+		}
+	}
+}
+
+func TestCoalescingSharesOneResult(t *testing.T) {
+	c := New(8, nil)
+	key := Key{From: 3, DocHash: 99, DocLen: 5}
+	_, leader, st := c.Acquire(key, 0)
+	if st != StatusLead {
+		t.Fatalf("acquire = %v, want lead", st)
+	}
+
+	const waiters = 16
+	results := make([]Result, waiters)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, fl, st := c.Acquire(key, 0)
+			started <- struct{}{}
+			switch st {
+			case StatusCoalesced:
+				res = fl.Wait()
+			case StatusHit:
+			default:
+				t.Errorf("waiter %d became leader", i)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	for i := 0; i < waiters; i++ {
+		<-started
+	}
+	payload := []byte("shared")
+	c.Commit(leader, Result{Outcome: OutcomeDelta, Payload: payload})
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Outcome != OutcomeDelta || !bytes.Equal(res.Payload, payload) {
+			t.Fatalf("waiter %d result = %+v, want the leader's", i, res)
+		}
+		if len(res.Payload) > 0 && &res.Payload[0] != &payload[0] {
+			t.Fatalf("waiter %d got a copy, want the shared payload", i)
+		}
+	}
+	if st := c.Stats(); st.Coalesced == 0 {
+		t.Fatalf("stats = %+v, want coalesced > 0", st)
+	}
+}
+
+func TestPurgeUnchargesAndUnmapsInFlight(t *testing.T) {
+	var ledger int64
+	c := New(8, func(d int64) { ledger += d })
+
+	// One committed entry and one in-flight entry.
+	_, fl1, _ := c.Acquire(Key{From: 1}, 0)
+	c.Commit(fl1, Result{Outcome: OutcomeDelta, Payload: make([]byte, 64)})
+	_, fl2, st := c.Acquire(Key{From: 2}, 0)
+	if st != StatusLead {
+		t.Fatalf("acquire = %v, want lead", st)
+	}
+
+	if freed := c.Purge(); freed != 64 {
+		t.Fatalf("Purge freed %d, want 64", freed)
+	}
+	if ledger != 0 {
+		t.Fatalf("ledger = %d after purge, want 0", ledger)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after purge, want 0", c.Len())
+	}
+
+	// The purged in-flight leader still commits and wakes waiters, but the
+	// result is not retained or charged.
+	done := make(chan Result, 1)
+	go func() { done <- fl2.Wait() }()
+	c.Commit(fl2, Result{Outcome: OutcomeDelta, Payload: make([]byte, 32)})
+	if res := <-done; res.Outcome != OutcomeDelta || len(res.Payload) != 32 {
+		t.Fatalf("post-purge waiter result = %+v", res)
+	}
+	if ledger != 0 || c.Len() != 0 {
+		t.Fatalf("post-purge commit charged (%d bytes, %d entries), want nothing retained", ledger, c.Len())
+	}
+	if _, _, st := c.Acquire(Key{From: 2}, 0); st != StatusLead {
+		t.Fatalf("purged key re-acquire = %v, want lead", st)
+	}
+}
+
+func TestEpochMismatchPurges(t *testing.T) {
+	var ledger int64
+	c := New(8, func(d int64) { ledger += d })
+	key := Key{From: 1, DocHash: 5}
+	_, fl, _ := c.Acquire(key, 0)
+	c.Commit(fl, Result{Outcome: OutcomeDelta, Payload: make([]byte, 10)})
+
+	// Same key, newer epoch: the stale entry must not be served.
+	_, _, st := c.Acquire(key, 1)
+	if st != StatusLead {
+		t.Fatalf("acquire at new epoch = %v, want lead (purged)", st)
+	}
+	if ledger != 0 {
+		t.Fatalf("ledger = %d after epoch purge, want 0", ledger)
+	}
+}
+
+func TestCapEvictsCommittedEntries(t *testing.T) {
+	var ledger int64
+	c := New(2, func(d int64) { ledger += d })
+	for i := 0; i < 5; i++ {
+		_, fl, st := c.Acquire(Key{From: i}, 0)
+		if st != StatusLead {
+			t.Fatalf("key %d: acquire = %v, want lead", i, st)
+		}
+		c.Commit(fl, Result{Outcome: OutcomeDelta, Payload: make([]byte, 10)})
+	}
+	if n := c.Len(); n > 2 {
+		t.Fatalf("len = %d, want <= cap 2", n)
+	}
+	if want := int64(c.Len()) * 10; ledger != want {
+		t.Fatalf("ledger = %d, want %d (exactly the retained entries)", ledger, want)
+	}
+}
+
+func TestConcurrentAcquireCommitPurge(t *testing.T) {
+	var ledger atomic.Int64
+	c := New(32, func(d int64) { ledger.Add(d) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := Key{From: i % 40, DocHash: uint64(i % 7)}
+				res, fl, st := c.Acquire(key, uint64(i%3))
+				switch st {
+				case StatusLead:
+					out := Result{Outcome: OutcomeDelta, Payload: []byte(fmt.Sprintf("g%d-i%d", g, i))}
+					if i%5 == 0 {
+						out = Result{Outcome: OutcomeFull}
+					}
+					c.Commit(fl, out)
+				case StatusCoalesced:
+					res = fl.Wait()
+					_ = res
+				case StatusHit:
+					if res.Outcome != OutcomeDelta {
+						t.Errorf("hit on a non-delta outcome: %+v", res)
+						return
+					}
+				}
+				if i%37 == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Purge()
+	if got := ledger.Load(); got != 0 {
+		t.Fatalf("ledger residue after final purge: %d", got)
+	}
+	if got := c.Bytes(); got != 0 {
+		t.Fatalf("cache bytes after final purge: %d", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"cbde/internal/deltahttp"
 	"cbde/internal/metrics"
 	"cbde/internal/obs"
+	"cbde/internal/store"
 )
 
 // Option configures a Server.
@@ -204,13 +205,18 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveStore serves the storage-governance snapshot: budget, resident
-// bytes by kind, resident/tracked class counts, and the recent prune/evict
-// log. CI's store-smoke job asserts evictions through this endpoint.
+// bytes by kind, resident/tracked class counts, the recent prune/evict
+// log, and the delta memo-cache summary. The store.Stats fields stay at
+// the top level (CI's store-smoke job asserts on them); the cache summary
+// rides along under "deltaCache" (CI's memo-smoke job asserts on it).
 func (s *Server) serveStore(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(s.engine.StoreStats())
+	_ = enc.Encode(struct {
+		store.Stats
+		DeltaCache core.DeltaCacheStats `json:"deltaCache"`
+	}{s.engine.StoreStats(), s.engine.DeltaCacheStats()})
 }
 
 // serveMetrics serves the engine's registry as Prometheus text exposition —

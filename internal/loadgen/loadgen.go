@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -38,6 +39,13 @@ type Config struct {
 	// delta-path reconstruction; differences count as Result.Mismatches.
 	// Requires a deterministic origin (same path + user → same bytes).
 	Verify bool
+	// RepeatRatio is the fraction of requests (0..1) that re-request the
+	// client's previous path instead of rotating to the next one. Repeats
+	// land on the server's delta memo cache (same class, same held
+	// version, same document), so with Verify this byte-compares
+	// cached-path responses against plain re-fetches — the memoization
+	// correctness mode. 0 (default) rotates every request, as before.
+	RepeatRatio float64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -141,8 +149,12 @@ func Run(cfg Config) (Result, error) {
 
 			var docBytes int64
 			errs, mismatches := 0, 0
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			path := cfg.Paths[c%len(cfg.Paths)]
 			for i := 0; i < cfg.RequestsPerClient; i++ {
-				path := cfg.Paths[(c+i)%len(cfg.Paths)]
+				if i > 0 && !(cfg.RepeatRatio > 0 && rng.Float64() < cfg.RepeatRatio) {
+					path = cfg.Paths[(c+i)%len(cfg.Paths)]
+				}
 				t0 := time.Now()
 				doc, _ := cl.Get(path)
 				lat.Observe(float64(time.Since(t0).Nanoseconds()))

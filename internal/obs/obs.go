@@ -36,6 +36,10 @@ const (
 	StageSelect
 	// StageAnon is the anonymization comparison scan (Section V).
 	StageAnon
+	// StageMemo is the memoized-delta cache consult: the lookup itself
+	// plus, for coalesced requests, the wait for the leader's encode.
+	// Zero when the cache is disabled or the request misses cold.
+	StageMemo
 	// StageEncode is the vdelta/VCDIFF delta encode.
 	StageEncode
 	// StageGzip is delta compression.
@@ -49,7 +53,7 @@ const (
 	NumStages
 )
 
-var stageNames = [NumStages]string{"route", "select", "anon", "encode", "gzip", "evict"}
+var stageNames = [NumStages]string{"route", "select", "anon", "memo", "encode", "gzip", "evict"}
 
 // String implements fmt.Stringer.
 func (s Stage) String() string {
@@ -62,7 +66,7 @@ func (s Stage) String() string {
 // Stages lists every stage in pipeline order, for callers that pre-resolve
 // per-stage metrics.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageEncode, StageGzip, StageEvict}
+	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageMemo, StageEncode, StageGzip, StageEvict}
 }
 
 // Span is the accumulated cost of one stage within one trace.

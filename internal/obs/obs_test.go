@@ -138,6 +138,7 @@ func TestStageString(t *testing.T) {
 		StageRoute:  "route",
 		StageSelect: "select",
 		StageAnon:   "anon",
+		StageMemo:   "memo",
 		StageEncode: "encode",
 		StageGzip:   "gzip",
 		StageEvict:  "evict",

@@ -41,6 +41,9 @@ type Usage struct {
 	CandBytes int64 `json:"candidateBytes"`
 	// IndexBytes is codec index bytes built over installed base versions.
 	IndexBytes int64 `json:"indexBytes"`
+	// DeltaBytes is memoized compressed-delta bytes retained by the
+	// per-class delta caches.
+	DeltaBytes int64 `json:"deltaBytes"`
 	// Total is the sum of the categories.
 	Total int64 `json:"total"`
 }
@@ -52,6 +55,7 @@ type Accountant struct {
 	base  atomic.Int64
 	cand  atomic.Int64
 	index atomic.Int64
+	delta atomic.Int64
 }
 
 // AddBase adjusts the distributable base-version byte count.
@@ -63,9 +67,12 @@ func (a *Accountant) AddCand(delta int64) { a.cand.Add(delta) }
 // AddIndex adjusts the codec index byte count.
 func (a *Accountant) AddIndex(delta int64) { a.index.Add(delta) }
 
+// AddDelta adjusts the memoized-delta byte count.
+func (a *Accountant) AddDelta(delta int64) { a.delta.Add(delta) }
+
 // Total returns the resident byte total across all categories.
 func (a *Accountant) Total() int64 {
-	return a.base.Load() + a.cand.Load() + a.index.Load()
+	return a.base.Load() + a.cand.Load() + a.index.Load() + a.delta.Load()
 }
 
 // Usage returns a snapshot of the ledger. The categories are read
@@ -76,8 +83,9 @@ func (a *Accountant) Usage() Usage {
 		BaseBytes:  a.base.Load(),
 		CandBytes:  a.cand.Load(),
 		IndexBytes: a.index.Load(),
+		DeltaBytes: a.delta.Load(),
 	}
-	u.Total = u.BaseBytes + u.CandBytes + u.IndexBytes
+	u.Total = u.BaseBytes + u.CandBytes + u.IndexBytes + u.DeltaBytes
 	return u
 }
 
