@@ -1,0 +1,127 @@
+// Cluster-tier scaling benchmark: aggregate throughput and the full-
+// response fraction (the serving analogue of the paper's P_error — the
+// probability a request cannot be served by delta) for rendezvous-
+// partitioned delta-server tiers of 1, 2, and 4 nodes over one origin,
+// plus the modeled per-response modem transfer time via internal/netsim.
+// CI archives the numbers as BENCH_cluster.json via cmd/benchreport.
+package cbde_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/cluster"
+	"cbde/internal/core"
+	"cbde/internal/deltaserver"
+	"cbde/internal/loadgen"
+	"cbde/internal/netsim"
+	"cbde/internal/origin"
+)
+
+// clusterBenchSite is the Table I-style workload: a path-segment site with
+// department catalogs and personalized churn, the same shape the smoke and
+// integration runs use.
+func clusterBenchSite() *origin.Site {
+	return origin.NewSite(origin.Config{
+		Host:  "www.site1.com",
+		Style: origin.StylePathSegments,
+		Depts: []origin.Dept{
+			{Name: "laptops", Items: 8},
+			{Name: "desktops", Items: 8},
+		},
+		TemplateBytes: 12000,
+		ItemBytes:     1200,
+		ChurnBytes:    500,
+		Personalized:  true,
+		Seed:          42,
+	})
+}
+
+// runClusterTier boots an n-node tier over one origin, sprays delta-capable
+// clients across every node, and returns the load result.
+func runClusterTier(b *testing.B, nodes int) loadgen.Result {
+	b.Helper()
+	site := clusterBenchSite()
+	originSrv := httptest.NewServer(site.Handler())
+	defer originSrv.Close()
+
+	servers := make([]*deltaserver.Server, nodes)
+	fronts := make([]*httptest.Server, nodes)
+	urls := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		fronts[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			servers[i].ServeHTTP(w, r)
+		}))
+		defer fronts[i].Close()
+		urls[i] = fronts[i].URL
+	}
+	peers := make([]cluster.Node, nodes)
+	for i := range peers {
+		peers[i] = cluster.Node{ID: fmt.Sprintf("node-%d", i), URL: urls[i]}
+	}
+	for i := 0; i < nodes; i++ {
+		cl, err := cluster.New(cluster.Config{Self: peers[i].ID, Peers: peers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := core.NewEngine(core.Config{
+			Anon: anonymize.Config{M: 1, N: 2},
+			Selector: basefile.Config{
+				AsyncSampling: true,
+				VersionStride: cl.Size(),
+				VersionOffset: cl.SelfIndex(),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers[i], err = deltaserver.New(originSrv.URL, eng,
+			deltaserver.WithPublicHost("www.site1.com"), deltaserver.WithCluster(cl))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		ServerURLs: urls,
+		Paths: []string{
+			"/laptops/0", "/laptops/1", "/laptops/2", "/laptops/3",
+			"/desktops/0", "/desktops/1", "/desktops/2", "/desktops/3",
+		},
+		Clients:           4 * nodes,
+		RequestsPerClient: 25,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkClusterScaling reports, per tier size: aggregate req/s across
+// the whole tier, P_error (fraction of responses that had to ship the full
+// document because no usable base was held), and the netsim-modeled 56k
+// transfer time of the mean response payload.
+func BenchmarkClusterScaling(b *testing.B) {
+	modem := netsim.Modem56k()
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			var res loadgen.Result
+			for n := 0; n < b.N; n++ {
+				res = runClusterTier(b, nodes)
+			}
+			responses := res.DeltaResponses + res.FullResponses
+			if responses == 0 {
+				b.Fatal("no responses measured")
+			}
+			b.ReportMetric(res.RPS(), "req/s")
+			b.ReportMetric(float64(res.FullResponses)/float64(responses), "P_error")
+			meanPayload := int(res.PayloadBytes) / responses
+			b.ReportMetric(float64(modem.TransferLatency(meanPayload).Milliseconds()), "modem-ms/resp")
+		})
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"cbde/internal/cluster"
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
 	"cbde/internal/metrics"
@@ -153,6 +154,34 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 			r := st.Log[i]
 			fmt.Fprintf(out, "  %s %s freed %d bytes at %s\n",
 				r.Kind, r.Key, r.FreedBytes, r.At.Format(time.RFC3339))
+		}
+	}
+
+	// Cluster section — only when the server is part of a tier (standalone
+	// servers 404 the endpoint, which is the feature-detect).
+	if body, err := fetch(client, server+deltahttp.ClusterPath); err == nil {
+		var cs cluster.Status
+		if err := json.Unmarshal(body, &cs); err != nil {
+			return fmt.Errorf("parse cluster snapshot: %w", err)
+		}
+		mode := "forward"
+		if cs.Redirect {
+			mode = "redirect"
+		}
+		fmt.Fprintf(out, "\ncluster: node %s of %d (%s mode), owns %.0f%% of classes\n",
+			cs.Self, len(cs.Peers), mode, 100*cs.OwnedShare)
+		fmt.Fprintf(out, "cluster: %d owned, %d forwarded, %d redirected, %d hop-guard, %d forward errors, %d remote bases\n",
+			cs.OwnedRequests, cs.Forwarded, cs.Redirected, cs.HopGuard, cs.ForwardErrors, cs.RemoteBase)
+		for _, p := range cs.Peers {
+			state := "alive"
+			if !p.Alive {
+				state = fmt.Sprintf("DEAD (%d fails: %s)", p.Fails, p.LastError)
+			}
+			self := " "
+			if p.Self {
+				self = "*"
+			}
+			fmt.Fprintf(out, "  %s %s %s %s\n", self, p.ID, p.URL, state)
 		}
 	}
 

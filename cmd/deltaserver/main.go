@@ -29,7 +29,9 @@ import (
 	"cbde/internal/anonymize"
 	"cbde/internal/basefile"
 	"cbde/internal/classify"
+	"cbde/internal/cluster"
 	"cbde/internal/core"
+	"cbde/internal/deltahttp"
 	"cbde/internal/deltaserver"
 )
 
@@ -68,6 +70,13 @@ func run(args []string) error {
 		stateFile = fs.String("state", "", "persist engine state to this file (load at start, save on shutdown)")
 		stateSave = fs.Duration("state-save-every", 5*time.Minute, "periodic state-save interval (with -state)")
 
+		nodeID          = fs.String("node-id", "", "cluster: this node's ID (must appear in -peers)")
+		peersFlag       = fs.String("peers", "", "cluster: full membership as id=url,... (e.g. a=http://10.0.0.1:8080,b=http://10.0.0.2:8080); empty = standalone")
+		clusterRedirect = fs.Bool("cluster-redirect", false, "cluster: 307-redirect non-owned requests to the owner instead of proxy-forwarding")
+		probeInterval   = fs.Duration("probe-interval", time.Second, "cluster: peer health-probe interval")
+		probeFail       = fs.Int("probe-fail", 3, "cluster: consecutive probe failures that mark a peer dead")
+		probeRise       = fs.Int("probe-rise", 2, "cluster: consecutive probe successes that revive a dead peer")
+
 		trace       = fs.Bool("trace", false, "record per-stage pipeline spans (feeds cbde_stage_duration_seconds)")
 		logRequests = fs.Bool("log-requests", false, "emit a structured log line per document request")
 		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -92,6 +101,37 @@ func run(args []string) error {
 		return fmt.Errorf("-mem-budget: %w", err)
 	}
 
+	// The cluster comes up before the engine: the node's position in the
+	// tier decides the engine's version-numbering stride, so two nodes can
+	// never mint the same (class, version) pair.
+	var clus *cluster.Cluster
+	versionStride, versionOffset := 0, 0
+	if *peersFlag != "" {
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		self := *nodeID
+		if self == "" && len(peers) > 0 {
+			return fmt.Errorf("-peers requires -node-id")
+		}
+		clus, err = cluster.New(cluster.Config{
+			Self:          self,
+			Peers:         peers,
+			Redirect:      *clusterRedirect,
+			ProbeInterval: *probeInterval,
+			FailThreshold: *probeFail,
+			RiseThreshold: *probeRise,
+			HealthPath:    deltahttp.HealthPath,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		versionStride = clus.Size()
+		versionOffset = clus.SelfIndex()
+	}
+
 	eng, err := core.NewEngine(core.Config{
 		Mode:      m,
 		MemBudget: budget,
@@ -105,6 +145,8 @@ func run(args []string) error {
 			MaxSamples:    *maxSamples,
 			RebaseTimeout: *rebaseTO,
 			AsyncSampling: true,
+			VersionStride: versionStride,
+			VersionOffset: versionOffset,
 		},
 		Anon:              anonymize.Config{M: *anonM, N: *anonN},
 		MaxDeltaRatio:     *maxDeltaRatio,
@@ -132,6 +174,18 @@ func run(args []string) error {
 		opts = append(opts, deltaserver.WithRequestLog(
 			slog.New(slog.NewTextHandler(os.Stderr, nil))))
 	}
+	if clus != nil {
+		clus.RegisterMetrics(eng.Metrics())
+		clus.Start()
+		defer clus.Stop()
+		opts = append(opts, deltaserver.WithCluster(clus))
+		mode := "forward"
+		if *clusterRedirect {
+			mode = "redirect"
+		}
+		log.Printf("deltaserver: cluster node %s of %d peers (%s mode, version stride %d offset %d)",
+			clus.Self().ID, clus.Size(), mode, versionStride, versionOffset)
+	}
 	srv, err := deltaserver.New(*originURL, eng, opts...)
 	if err != nil {
 		return err
@@ -151,6 +205,27 @@ func run(args []string) error {
 		log.Printf("deltaserver: class-storage budget %d bytes (snapshot at /_cbde/store)", budget)
 	}
 	return http.ListenAndServe(*addr, srv)
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url entries. A bare
+// URL (no "=") uses the URL itself as the node ID.
+func parsePeers(s string) ([]cluster.Node, error) {
+	var peers []cluster.Node
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, u, found := strings.Cut(entry, "=")
+		if !found {
+			id, u = entry, entry
+		}
+		if id == "" || u == "" {
+			return nil, fmt.Errorf("bad peer entry %q, want id=url", entry)
+		}
+		peers = append(peers, cluster.Node{ID: id, URL: strings.TrimSuffix(u, "/")})
+	}
+	return peers, nil
 }
 
 // parseBytes parses a byte count with an optional k/m/g suffix (powers of

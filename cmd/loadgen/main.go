@@ -27,7 +27,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
-		server   = fs.String("server", "http://localhost:8080", "delta-server base URL")
+		server   = fs.String("server", "http://localhost:8080", "delta-server base URL, or a comma-separated list to spray clients across a cluster")
 		paths    = fs.String("paths", "/laptops/0", "comma-separated document paths")
 		clients  = fs.Int("clients", 8, "concurrent delta-capable clients")
 		requests = fs.Int("requests", 50, "requests per client")
@@ -45,8 +45,14 @@ func run(args []string) error {
 			pathList = append(pathList, p)
 		}
 	}
+	var serverList []string
+	for _, s := range strings.Split(*server, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			serverList = append(serverList, strings.TrimSuffix(s, "/"))
+		}
+	}
 	res, err := loadgen.Run(loadgen.Config{
-		ServerURL:         *server,
+		ServerURLs:        serverList,
 		Paths:             pathList,
 		Clients:           *clients,
 		RequestsPerClient: *requests,

@@ -108,6 +108,20 @@ type Config struct {
 	AfterAsyncAdmit func()
 	// Seed seeds the sampling RNG, for reproducible experiments.
 	Seed uint64
+
+	// VersionStride and VersionOffset stride version numbering across a
+	// cluster of delta-servers: every version this selector mints is
+	// ≡ VersionOffset (mod VersionStride). Giving each node a distinct
+	// offset (its index in the sorted peer list) and stride = cluster size
+	// makes (class, version) pairs globally unique, so when class ownership
+	// moves — failover, then failback — a client's held version can only
+	// ever match a base on the node that actually minted it; a node that
+	// does not hold the advertised version serves a full response instead
+	// of encoding against different bytes. Defaults: stride 1, offset 0 —
+	// plain increments, the standalone behavior.
+	VersionStride int
+	// VersionOffset is this node's residue class; see VersionStride.
+	VersionOffset int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +144,10 @@ func (c Config) withDefaults() Config {
 		est := vdelta.NewEstimator()
 		c.DeltaSize = func(base, doc []byte) int { return est.Estimate(base, doc) }
 	}
+	if c.VersionStride <= 0 {
+		c.VersionStride = 1
+	}
+	c.VersionOffset = ((c.VersionOffset % c.VersionStride) + c.VersionStride) % c.VersionStride
 	return c
 }
 
@@ -229,7 +247,7 @@ func (s *Selector) ObserveTagged(doc []byte, tag string, now time.Time) Event {
 		// a re-warmed class never reuses a version number for new bytes.
 		s.base = cloneBytes(doc)
 		s.baseTag = tag
-		s.version++
+		s.bumpVersionLocked()
 		s.lastRebase = now
 		ev.Initialized = true
 	}
@@ -397,7 +415,7 @@ func (s *Selector) maybeGroupRebase(now time.Time, ev *Event) {
 	}
 	s.base = cloneBytes(s.candidates[best].doc)
 	s.baseTag = s.candidates[best].tag
-	s.version++
+	s.bumpVersionLocked()
 	s.lastRebase = now
 	s.hasRebased = true
 	ev.GroupRebase = true
@@ -429,7 +447,7 @@ func (s *Selector) BasicRebase(doc []byte, tag string, now time.Time) int {
 	defer s.syncStoredLocked()
 	s.base = cloneBytes(doc)
 	s.baseTag = tag
-	s.version++
+	s.bumpVersionLocked()
 	s.lastRebase = now
 	s.hasRebased = true
 	s.candidates = nil
@@ -559,5 +577,23 @@ func (s *Selector) Restore(base []byte, tag string, version int, lastRebase time
 		s.version = version
 	}
 	s.lastRebase = lastRebase
-	s.hasRebased = version > 1
+	s.hasRebased = version > s.nextVersionLocked(0)
+}
+
+// bumpVersionLocked advances the version counter to the next number in this
+// node's stride class. With the default stride of 1 this is a plain
+// increment. Callers hold s.mu.
+func (s *Selector) bumpVersionLocked() {
+	s.version = s.nextVersionLocked(s.version)
+}
+
+// nextVersionLocked returns the smallest v > after with
+// v ≡ VersionOffset (mod VersionStride).
+func (s *Selector) nextVersionLocked(after int) int {
+	v := after + 1
+	stride, off := s.cfg.VersionStride, s.cfg.VersionOffset
+	if rem := ((v-off)%stride + stride) % stride; rem != 0 {
+		v += stride - rem
+	}
+	return v
 }

@@ -373,3 +373,59 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("invalid values not defaulted: %+v", c)
 	}
 }
+
+// TestVersionStriding: with stride = cluster size and per-node offsets,
+// every version a selector mints stays in its residue class, versions are
+// strictly increasing, and no two offsets can ever mint the same version —
+// the invariant that makes (class, version) globally unique across a
+// delta-server tier.
+func TestVersionStriding(t *testing.T) {
+	const stride = 3
+	now := time.Unix(0, 0)
+	seen := make(map[int]int) // version -> offset that minted it
+	for off := 0; off < stride; off++ {
+		s := NewSelector(Config{
+			SampleProb:    1,
+			VersionStride: stride,
+			VersionOffset: off,
+		})
+		prev := 0
+		for i := 0; i < 20; i++ {
+			// BasicRebase bumps unconditionally, exercising the counter.
+			v := s.BasicRebase([]byte(fmt.Sprintf("doc-%d", i)), "", now)
+			if v <= prev {
+				t.Fatalf("offset %d: version %d not increasing past %d", off, v, prev)
+			}
+			if v%stride != off {
+				t.Fatalf("offset %d minted version %d (≡ %d mod %d)", off, v, v%stride, stride)
+			}
+			if other, dup := seen[v]; dup {
+				t.Fatalf("version %d minted by offsets %d and %d", v, other, off)
+			}
+			seen[v] = off
+			prev = v
+		}
+	}
+}
+
+// TestVersionStridingDefaults: the zero config keeps plain increments, and
+// Observe's bootstrap bump respects the stride too.
+func TestVersionStridingDefaults(t *testing.T) {
+	now := time.Unix(0, 0)
+	s := NewSelector(Config{SampleProb: -1})
+	s.Observe([]byte("doc"), now)
+	if _, v := s.Base(); v != 1 {
+		t.Fatalf("default stride first version = %d, want 1", v)
+	}
+	s = NewSelector(Config{SampleProb: -1, VersionStride: 4, VersionOffset: 2})
+	s.Observe([]byte("doc"), now)
+	if _, v := s.Base(); v != 2 {
+		t.Fatalf("strided bootstrap version = %d, want 2", v)
+	}
+	// Restore past a foreign version: the next mint lands back in this
+	// node's residue class, strictly above the restored counter.
+	s.Restore(nil, "", 7, now)
+	if v := s.BasicRebase([]byte("doc2"), "", now); v != 10 {
+		t.Fatalf("post-restore version = %d, want 10", v)
+	}
+}

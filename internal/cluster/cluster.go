@@ -1,0 +1,356 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"cbde/internal/metrics"
+)
+
+// Node is one delta-server replica in the tier.
+type Node struct {
+	// ID is the node's stable identity — what the ring hashes and what
+	// the hop-guard header carries. Typically the advertised URL, but any
+	// unique string works.
+	ID string `json:"id"`
+	// URL is the node's base URL as peers reach it, e.g.
+	// "http://10.0.0.7:8080". No trailing slash.
+	URL string `json:"url"`
+}
+
+// Config parametrizes a Cluster.
+type Config struct {
+	// Self is the ID of this process's node. Must appear in Peers.
+	Self string
+	// Peers is the full static membership, including self.
+	Peers []Node
+	// Redirect switches the non-owner response from proxy-forwarding to a
+	// 307 redirect at the owner, for clients that can follow.
+	Redirect bool
+	// ProbeInterval is how often each peer's health endpoint is probed.
+	// Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe. Default ProbeInterval.
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive probe failures mark a peer
+	// dead. Default 3.
+	FailThreshold int
+	// RiseThreshold is how many consecutive probe successes mark a dead
+	// peer alive again. Default 2.
+	RiseThreshold int
+	// HealthPath is the path probed on each peer. Default "/_cbde/health"
+	// (deltahttp.HealthPath; spelled here to keep the package dependency-
+	// light).
+	HealthPath string
+	// Client issues probe requests. Default: a client with ProbeTimeout.
+	Client *http.Client
+	// Logf, when set, receives membership-transition log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RiseThreshold <= 0 {
+		c.RiseThreshold = 2
+	}
+	if c.HealthPath == "" {
+		c.HealthPath = "/_cbde/health"
+	}
+	return c
+}
+
+// peerState is the prober's view of one remote peer.
+type peerState struct {
+	node Node
+
+	mu        sync.Mutex
+	alive     bool
+	fails     int // consecutive probe failures
+	successes int // consecutive probe successes while dead
+	lastProbe time.Time
+	lastErr   string
+}
+
+// Counters are the cluster tier's traffic counters. All fields are
+// monotone; they are registered on the engine's metrics registry by
+// RegisterMetrics and surfaced raw through Status.
+type Counters struct {
+	// Owned counts document requests this node answered as the owner.
+	Owned metrics.Counter
+	// Forwarded counts non-owned document requests proxied to their owner.
+	Forwarded metrics.Counter
+	// Redirected counts non-owned document requests answered with a 307
+	// redirect at the owner.
+	Redirected metrics.Counter
+	// HopGuard counts requests that arrived already carrying the forwarded
+	// hop-guard header and were therefore served locally — the mechanism
+	// that bounds every request to at most one forward hop and rejects
+	// forwarding loops under inconsistent membership views.
+	HopGuard metrics.Counter
+	// ForwardErrors counts forwards that failed (owner unreachable) and
+	// fell back to local serving.
+	ForwardErrors metrics.Counter
+	// RemoteBase counts base-file requests proxied peer-to-peer to the
+	// class's owner because the bytes were not resident locally.
+	RemoteBase metrics.Counter
+}
+
+// Cluster is one node's view of the delta-server tier: the static ring,
+// per-peer liveness maintained by the prober, and the tier's traffic
+// counters. Safe for concurrent use.
+type Cluster struct {
+	cfg  Config
+	self Node
+	ring *Ring
+	// peers holds every remote node (self excluded), keyed by ID.
+	peers map[string]*peerState
+
+	// Ctr are the tier's traffic counters, bumped by the delta-server's
+	// forwarding paths.
+	Ctr Counters
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	probing  sync.WaitGroup
+}
+
+// New validates cfg and returns a Cluster. The prober is not started;
+// call Start (and Stop on shutdown). Until Start, every peer is considered
+// alive — a fresh node must not treat the whole fleet as dead before the
+// first probe cycle completes.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self node ID required")
+	}
+	ids := make([]string, 0, len(cfg.Peers))
+	var self *Node
+	for i := range cfg.Peers {
+		p := &cfg.Peers[i]
+		if p.ID == "" {
+			return nil, fmt.Errorf("cluster: peer %d has no ID", i)
+		}
+		if p.URL == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", p.ID)
+		}
+		if u, err := url.Parse(p.URL); err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q URL %q needs scheme and host", p.ID, p.URL)
+		}
+		ids = append(ids, p.ID)
+		if p.ID == cfg.Self {
+			self = p
+		}
+	}
+	if self == nil {
+		return nil, fmt.Errorf("cluster: Self %q not in peer list", cfg.Self)
+	}
+	ring := NewRing(ids)
+	if ring.Len() != len(cfg.Peers) {
+		return nil, fmt.Errorf("cluster: duplicate peer IDs")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.ProbeTimeout}
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		self:  *self,
+		ring:  ring,
+		peers: make(map[string]*peerState, len(cfg.Peers)-1),
+		stop:  make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		if p.ID != cfg.Self {
+			c.peers[p.ID] = &peerState{node: p, alive: true}
+		}
+	}
+	return c, nil
+}
+
+// Self returns this process's node.
+func (c *Cluster) Self() Node { return c.self }
+
+// Redirect reports whether the tier answers non-owned requests with 307
+// redirects instead of proxy-forwards.
+func (c *Cluster) Redirect() bool { return c.cfg.Redirect }
+
+// Size returns the static membership size (dead peers included).
+func (c *Cluster) Size() int { return c.ring.Len() }
+
+// SelfIndex returns this node's index in the sorted peer-ID list — the
+// per-node version-numbering offset (see basefile.Config.VersionOffset).
+func (c *Cluster) SelfIndex() int {
+	return sort.SearchStrings(c.ring.Nodes(), c.self.ID)
+}
+
+// Alive reports whether the node with the given ID is currently considered
+// alive. Self is always alive; unknown IDs are dead.
+func (c *Cluster) Alive(id string) bool {
+	if id == c.self.ID {
+		return true
+	}
+	p, ok := c.peers[id]
+	if !ok {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}
+
+// Owner returns the node owning key: the alive node with the highest HRW
+// rank. When no peer is alive the node serves everything itself, so Owner
+// never fails.
+func (c *Cluster) Owner(key string) Node {
+	id, ok := c.ring.Owner(key, c.Alive)
+	if !ok || id == c.self.ID {
+		return c.self
+	}
+	return c.peers[id].node
+}
+
+// Owns reports whether this node owns key.
+func (c *Cluster) Owns(key string) bool {
+	return c.Owner(key).ID == c.self.ID
+}
+
+// SetAlive overrides a peer's liveness — the prober's job, exposed for
+// tests and for deployments that drive membership externally.
+func (c *Cluster) SetAlive(id string, alive bool) {
+	p, ok := c.peers[id]
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	p.alive = alive
+	p.fails, p.successes = 0, 0
+	p.mu.Unlock()
+}
+
+// OwnedShare estimates the fraction of the class key space this node owns
+// under the current liveness view, by placing a fixed synthetic key sample
+// through the ring. With n alive nodes the share is ~1/n.
+func (c *Cluster) OwnedShare() float64 {
+	const probes = 1024
+	owned := 0
+	for i := 0; i < probes; i++ {
+		if c.Owns(fmt.Sprintf("share-probe/%d", i)) {
+			owned++
+		}
+	}
+	return float64(owned) / probes
+}
+
+// RegisterMetrics contributes the tier's counters and per-peer liveness
+// gauges to reg's exposition:
+//
+//	cbde_cluster_owned_requests_total
+//	cbde_cluster_forwarded_total
+//	cbde_cluster_redirected_total
+//	cbde_cluster_hop_guard_total
+//	cbde_cluster_forward_errors_total
+//	cbde_cluster_remote_base_total
+//	cbde_cluster_peer_up{peer="..."}
+func (c *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	reg.RegisterCollector(func(col *metrics.Collection) {
+		count := func(name, help string, ctr *metrics.Counter) {
+			col.Counter(name, help, nil, float64(ctr.Value()))
+		}
+		count("cbde_cluster_owned_requests_total",
+			"Document requests answered locally as the class owner.", &c.Ctr.Owned)
+		count("cbde_cluster_forwarded_total",
+			"Non-owned document requests proxied to their owner.", &c.Ctr.Forwarded)
+		count("cbde_cluster_redirected_total",
+			"Non-owned document requests 307-redirected to their owner.", &c.Ctr.Redirected)
+		count("cbde_cluster_hop_guard_total",
+			"Requests served locally because they already crossed one forward hop.", &c.Ctr.HopGuard)
+		count("cbde_cluster_forward_errors_total",
+			"Forwards that failed and fell back to local serving.", &c.Ctr.ForwardErrors)
+		count("cbde_cluster_remote_base_total",
+			"Base-file requests proxied peer-to-peer to the class owner.", &c.Ctr.RemoteBase)
+		for _, id := range c.ring.Nodes() {
+			up := 0.0
+			if c.Alive(id) {
+				up = 1
+			}
+			col.Gauge("cbde_cluster_peer_up",
+				"1 when the peer answers health probes (self is always 1).",
+				[]metrics.Label{{Name: "peer", Value: id}}, up)
+		}
+	})
+}
+
+// PeerStatus is one node's row in the cluster status snapshot.
+type PeerStatus struct {
+	Node
+	Self      bool      `json:"self,omitempty"`
+	Alive     bool      `json:"alive"`
+	Fails     int       `json:"consecutiveFails,omitempty"`
+	LastProbe time.Time `json:"lastProbe"`
+	LastError string    `json:"lastError,omitempty"`
+}
+
+// Status is the JSON document served at /_cbde/cluster.
+type Status struct {
+	Self       string       `json:"self"`
+	Redirect   bool         `json:"redirect"`
+	OwnedShare float64      `json:"ownedShare"`
+	Peers      []PeerStatus `json:"peers"`
+
+	OwnedRequests int64 `json:"ownedRequests"`
+	Forwarded     int64 `json:"forwarded"`
+	Redirected    int64 `json:"redirected"`
+	HopGuard      int64 `json:"hopGuard"`
+	ForwardErrors int64 `json:"forwardErrors"`
+	RemoteBase    int64 `json:"remoteBase"`
+}
+
+// Status snapshots the tier: membership with liveness, this node's share
+// of the key space, and the traffic counters.
+func (c *Cluster) Status() Status {
+	st := Status{
+		Self:          c.self.ID,
+		Redirect:      c.cfg.Redirect,
+		OwnedShare:    c.OwnedShare(),
+		OwnedRequests: c.Ctr.Owned.Value(),
+		Forwarded:     c.Ctr.Forwarded.Value(),
+		Redirected:    c.Ctr.Redirected.Value(),
+		HopGuard:      c.Ctr.HopGuard.Value(),
+		ForwardErrors: c.Ctr.ForwardErrors.Value(),
+		RemoteBase:    c.Ctr.RemoteBase.Value(),
+	}
+	for _, id := range c.ring.Nodes() {
+		if id == c.self.ID {
+			st.Peers = append(st.Peers, PeerStatus{Node: c.self, Self: true, Alive: true})
+			continue
+		}
+		p := c.peers[id]
+		p.mu.Lock()
+		st.Peers = append(st.Peers, PeerStatus{
+			Node:      p.node,
+			Alive:     p.alive,
+			Fails:     p.fails,
+			LastProbe: p.lastProbe,
+			LastError: p.lastErr,
+		})
+		p.mu.Unlock()
+	}
+	return st
+}
+
+func (c *Cluster) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

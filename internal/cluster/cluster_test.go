@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cbde/internal/metrics"
+)
+
+func staticPeers(n int) []Node {
+	peers := make([]Node, n)
+	for i := range peers {
+		peers[i] = Node{ID: nodeIDs(n)[i], URL: "http://127.0.0.1:1"}
+	}
+	return peers
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{},                                    // no self
+		{Self: "a"},                           // self not in peers
+		{Self: "a", Peers: []Node{{ID: "a"}}}, // no URL
+		{Self: "a", Peers: []Node{{ID: "a", URL: "http://x:1"}, {ID: "a", URL: "http://y:1"}}}, // dup
+		{Self: "a", Peers: []Node{{ID: "a", URL: "not-a-url"}}},                                // bad URL
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) succeeded, want error", i, cfg)
+		}
+	}
+}
+
+func TestOwnershipAndSelfIndex(t *testing.T) {
+	peers := staticPeers(3)
+	var clusters []*Cluster
+	for i, p := range peers {
+		c, err := New(Config{Self: p.ID, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.SelfIndex() != i {
+			t.Errorf("SelfIndex(%s) = %d, want %d", p.ID, c.SelfIndex(), i)
+		}
+		if c.Size() != 3 {
+			t.Errorf("Size = %d, want 3", c.Size())
+		}
+		clusters = append(clusters, c)
+	}
+	// Every node agrees on every key's owner, and exactly one node owns it.
+	for _, key := range testKeys(500) {
+		owner := clusters[0].Owner(key).ID
+		owns := 0
+		for _, c := range clusters {
+			if got := c.Owner(key).ID; got != owner {
+				t.Fatalf("nodes disagree on owner of %q: %q vs %q", key, got, owner)
+			}
+			if c.Owns(key) {
+				owns++
+			}
+		}
+		if owns != 1 {
+			t.Fatalf("%d nodes claim %q, want exactly 1", owns, key)
+		}
+	}
+}
+
+func TestOwnerFailoverViaSetAlive(t *testing.T) {
+	peers := staticPeers(3)
+	c, err := New(Config{Self: peers[0].ID, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by a remote peer, kill that peer, and check the key
+	// fails over deterministically to the next-highest rank.
+	for _, key := range testKeys(200) {
+		owner := c.Owner(key)
+		if owner.ID == c.Self().ID {
+			continue
+		}
+		rank := c.ring.Rank(key)
+		c.SetAlive(owner.ID, false)
+		next := c.Owner(key).ID
+		c.SetAlive(owner.ID, true)
+		want := rank[1]
+		if next != want {
+			t.Fatalf("failover owner of %q = %q, want %q", key, next, want)
+		}
+		return
+	}
+	t.Fatal("no remotely owned key found")
+}
+
+// TestProberThresholds drives a real health endpoint that can be switched
+// between healthy and failing, and checks the fail/rise threshold state
+// machine plus the Status snapshot.
+func TestProberThresholds(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/_cbde/health" {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy.Load() {
+			http.Error(w, "sick", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	c, err := New(Config{
+		Self: "self",
+		Peers: []Node{
+			{ID: "self", URL: "http://127.0.0.1:1"},
+			{ID: "peer", URL: peer.URL},
+		},
+		ProbeInterval: 5 * time.Millisecond,
+		FailThreshold: 3,
+		RiseThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	waitFor := func(alive bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.Alive("peer") == alive {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("peer never became %s", what)
+	}
+
+	waitFor(true, "alive")
+	healthy.Store(false)
+	waitFor(false, "dead")
+	st := c.Status()
+	if len(st.Peers) != 2 || !st.Peers[0].Self || st.Peers[0].ID != "peer" && st.Peers[1].ID != "peer" {
+		// Peers are sorted by ID: "peer" < "self" is false, so self-first
+		// ordering depends on IDs; just find the peer row.
+	}
+	var row *PeerStatus
+	for i := range st.Peers {
+		if st.Peers[i].ID == "peer" {
+			row = &st.Peers[i]
+		}
+	}
+	if row == nil || row.Alive || row.LastError == "" {
+		t.Fatalf("status row for dead peer wrong: %+v", row)
+	}
+	healthy.Store(true)
+	waitFor(true, "alive again")
+}
+
+func TestSelfAlwaysAliveAndOwnerNeverFails(t *testing.T) {
+	peers := staticPeers(3)
+	c, err := New(Config{Self: peers[0].ID, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Alive(peers[0].ID) {
+		t.Error("self not alive")
+	}
+	if c.Alive("stranger") {
+		t.Error("unknown node alive")
+	}
+	// With every peer dead, self owns everything.
+	c.SetAlive(peers[1].ID, false)
+	c.SetAlive(peers[2].ID, false)
+	for _, key := range testKeys(100) {
+		if !c.Owns(key) {
+			t.Fatalf("lone survivor does not own %q", key)
+		}
+	}
+	if share := c.OwnedShare(); share != 1 {
+		t.Errorf("lone survivor OwnedShare = %v, want 1", share)
+	}
+}
+
+func TestOwnedShareRoughlyFair(t *testing.T) {
+	peers := staticPeers(4)
+	c, err := New(Config{Self: peers[0].ID, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := c.OwnedShare()
+	if share < 0.125 || share > 0.5 {
+		t.Errorf("OwnedShare = %v, want around 0.25", share)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	peers := staticPeers(2)
+	c, err := New(Config{Self: peers[0].ID, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Ctr.Forwarded.Inc()
+	c.Ctr.HopGuard.Add(2)
+	c.SetAlive(peers[1].ID, false)
+
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+	var b strings.Builder
+	if err := reg.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"cbde_cluster_forwarded_total 1",
+		"cbde_cluster_hop_guard_total 2",
+		"cbde_cluster_owned_requests_total 0",
+		`cbde_cluster_peer_up{peer="node-0"} 1`,
+		`cbde_cluster_peer_up{peer="node-1"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Start launches one probe loop per remote peer. Each loop GETs the peer's
+// health endpoint every ProbeInterval; FailThreshold consecutive failures
+// mark the peer dead (its classes fail over to the next-highest HRW rank on
+// every node independently), RiseThreshold consecutive successes mark it
+// alive again (its classes fail back). Call Stop to terminate the loops.
+//
+// Probing is deliberately per-node-local: peers never gossip liveness, so
+// views can disagree for up to one probe cycle. The forwarding hop guard
+// keeps that disagreement harmless — a request crosses at most one hop and
+// is then served wherever it lands.
+func (c *Cluster) Start() {
+	for _, p := range c.peers {
+		c.probing.Add(1)
+		go c.probeLoop(p)
+	}
+}
+
+// Stop terminates the probe loops and waits for them to exit. Safe to call
+// more than once, and without Start.
+func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.probing.Wait()
+}
+
+func (c *Cluster) probeLoop(p *peerState) {
+	defer c.probing.Done()
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.probeOnce(p)
+		}
+	}
+}
+
+// probeOnce issues one health probe and applies the threshold state
+// machine.
+func (c *Cluster) probeOnce(p *peerState) {
+	err := c.probe(p.node)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lastProbe = time.Now()
+	if err != nil {
+		p.lastErr = err.Error()
+		p.successes = 0
+		p.fails++
+		if p.alive && p.fails >= c.cfg.FailThreshold {
+			p.alive = false
+			c.logf("cluster: peer %s dead after %d failed probes (%v)", p.node.ID, p.fails, err)
+		}
+		return
+	}
+	p.lastErr = ""
+	p.fails = 0
+	if !p.alive {
+		p.successes++
+		if p.successes >= c.cfg.RiseThreshold {
+			p.alive = true
+			p.successes = 0
+			c.logf("cluster: peer %s alive again", p.node.ID)
+		}
+	}
+}
+
+// probe GETs the peer's health endpoint; any transport error or non-200
+// status is a failure.
+func (c *Cluster) probe(n Node) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+c.cfg.HealthPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{code: resp.StatusCode}
+	}
+	return nil
+}
+
+// statusError reports a non-200 health probe.
+type statusError struct{ code int }
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("health probe returned status %d", e.code)
+}

@@ -1,0 +1,110 @@
+// Package cluster implements the horizontal delta-server tier: N replicas
+// partition document classes among themselves by rendezvous (highest-random-
+// weight) hashing over the classify key, so every class's selector,
+// anonymization pipeline, and memoized deltas live on exactly one node at a
+// time. Non-owned requests are forwarded (or 307-redirected) to the owner;
+// anonymized base-files are fetched peer-to-peer through the existing
+// cachable base-file endpoint instead of being re-anonymized on every node.
+//
+// Membership is a static peer list plus a lightweight HTTP health prober:
+// when a peer stops answering /_cbde/health, its classes fail over to the
+// next-highest HRW rank, and when it returns they fail back. Ownership
+// moves carry no state-transfer protocol — the new owner simply re-warms
+// the class from traffic, which the store layer's evict/re-warm degradation
+// semantics already make version-safe (a class never reuses a version
+// number for different bytes, and version numbers are strided per node so
+// two nodes can never mint the same (class, version) pair).
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a rendezvous (HRW) hash ring over a static set of node IDs.
+// Placement is a pure function of (key, node ID), so every node computes
+// the same owner for a key without coordination, and removing one node
+// moves only that node's share of the key space. The zero value is an
+// empty ring; create a populated one with NewRing. Ring is immutable and
+// safe for concurrent use.
+type Ring struct {
+	nodes []string // sorted, deduplicated node IDs
+}
+
+// NewRing returns a ring over the given node IDs (order-insensitive;
+// duplicates are dropped).
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	return &Ring{nodes: uniq}
+}
+
+// Nodes returns the ring's node IDs, sorted. Callers must not mutate the
+// returned slice.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len returns the number of nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// score is the HRW weight of (node, key). FNV-1a over node\x00key keeps
+// placement identical across processes and restarts — unlike maphash, whose
+// seed is per-process — which is what lets every replica compute the same
+// owner independently.
+func score(node, key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(node))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owner returns the node that owns key among the nodes for which alive
+// returns true: the alive node with the highest HRW score (ties broken by
+// the lexicographically smaller ID). A nil alive means every node is
+// considered alive. ok is false when the ring is empty or no node is alive.
+func (r *Ring) Owner(key string, alive func(node string) bool) (owner string, ok bool) {
+	var best uint64
+	for _, n := range r.nodes {
+		if alive != nil && !alive(n) {
+			continue
+		}
+		if s := score(n, key); !ok || s > best || (s == best && n < owner) {
+			owner, best, ok = n, s, true
+		}
+	}
+	return owner, ok
+}
+
+// Rank returns every node sorted by descending HRW score for key — the
+// failover order: Rank(key)[0] is the owner, Rank(key)[1] takes over when
+// the owner dies, and so on. Liveness is intentionally not consulted; the
+// caller filters.
+func (r *Ring) Rank(key string) []string {
+	type scored struct {
+		node string
+		s    uint64
+	}
+	ranked := make([]scored, len(r.nodes))
+	for i, n := range r.nodes {
+		ranked[i] = scored{n, score(n, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].s != ranked[j].s {
+			return ranked[i].s > ranked[j].s
+		}
+		return ranked[i].node < ranked[j].node
+	})
+	out := make([]string, len(ranked))
+	for i, sc := range ranked {
+		out[i] = sc.node
+	}
+	return out
+}

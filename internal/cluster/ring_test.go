@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real classify keys: server-part / hint-part.
+		keys[i] = fmt.Sprintf("www.site%d.com/dept-%d", i%7, i)
+	}
+	return keys
+}
+
+func nodeIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	return ids
+}
+
+// TestRingBalance is the placement-balance property: across 8 nodes and
+// 10k keys, no node's class share exceeds twice any other's.
+func TestRingBalance(t *testing.T) {
+	ring := NewRing(nodeIDs(8))
+	counts := make(map[string]int)
+	for _, key := range testKeys(10000) {
+		owner, ok := ring.Owner(key, nil)
+		if !ok {
+			t.Fatalf("no owner for %q", key)
+		}
+		counts[owner]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 nodes own keys: %v", len(counts), counts)
+	}
+	minC, maxC := -1, 0
+	for _, c := range counts {
+		if minC < 0 || c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC > 2*minC {
+		t.Errorf("placement imbalanced: max share %d > 2x min share %d (%v)", maxC, minC, counts)
+	}
+}
+
+// TestRingMinimalDisruption is the HRW stability property: removing 1 of N
+// nodes moves only that node's keys — about 1/N of the key space — and no
+// key owned by a surviving node changes owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	for _, n := range []int{3, 8} {
+		t.Run(fmt.Sprintf("nodes=%d", n), func(t *testing.T) {
+			ids := nodeIDs(n)
+			full := NewRing(ids)
+			removed := ids[n/2]
+			alive := func(id string) bool { return id != removed }
+
+			keys := testKeys(10000)
+			moved, owned := 0, 0
+			for _, key := range keys {
+				before, _ := full.Owner(key, nil)
+				after, _ := full.Owner(key, alive)
+				if before == removed {
+					owned++
+					continue // these keys must move somewhere
+				}
+				if before != after {
+					moved++
+				}
+			}
+			if moved != 0 {
+				t.Errorf("%d keys owned by surviving nodes changed owner", moved)
+			}
+			// The removed node's share should be ~1/n of the keys (within
+			// a generous 2x of the fair share, matching the balance bound).
+			fair := len(keys) / n
+			if owned > 2*fair || owned < fair/2 {
+				t.Errorf("removed node owned %d keys, want about %d (1/%d of %d)",
+					owned, fair, n, len(keys))
+			}
+		})
+	}
+}
+
+// TestRingDeterminism: placement is a pure function of (key, membership) —
+// two independently built rings agree on every owner and on failover order.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"c", "a", "b"})
+	b := NewRing([]string{"b", "c", "a", "a"}) // order and dups must not matter
+	for _, key := range testKeys(500) {
+		ao, _ := a.Owner(key, nil)
+		bo, _ := b.Owner(key, nil)
+		if ao != bo {
+			t.Fatalf("rings disagree on %q: %q vs %q", key, ao, bo)
+		}
+		ar, br := a.Rank(key), b.Rank(key)
+		if len(ar) != 3 || len(br) != 3 {
+			t.Fatalf("rank length %d/%d, want 3", len(ar), len(br))
+		}
+		for i := range ar {
+			if ar[i] != br[i] {
+				t.Fatalf("ranks disagree on %q: %v vs %v", key, ar, br)
+			}
+		}
+		if ar[0] != ao {
+			t.Fatalf("Rank[0] %q != Owner %q", ar[0], ao)
+		}
+	}
+}
+
+// TestRingFailover: with the owner dead, ownership falls to the
+// next-highest HRW rank, exactly as Rank predicts.
+func TestRingFailover(t *testing.T) {
+	ring := NewRing(nodeIDs(5))
+	for _, key := range testKeys(1000) {
+		rank := ring.Rank(key)
+		dead := rank[0]
+		got, ok := ring.Owner(key, func(id string) bool { return id != dead })
+		if !ok || got != rank[1] {
+			t.Fatalf("failover owner for %q = %q, want rank[1] %q", key, got, rank[1])
+		}
+	}
+}
+
+// TestRingEmptyAndDead: an empty ring and an all-dead ring report no owner.
+func TestRingEmptyAndDead(t *testing.T) {
+	if _, ok := NewRing(nil).Owner("k", nil); ok {
+		t.Error("empty ring returned an owner")
+	}
+	ring := NewRing(nodeIDs(3))
+	if _, ok := ring.Owner("k", func(string) bool { return false }); ok {
+		t.Error("all-dead ring returned an owner")
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -843,6 +845,43 @@ func (e *Engine) route(req Request) (*classState, error) {
 	}
 }
 
+// OwnerKey returns the cluster-ownership key for a request URL: the piece
+// of the class identity computable from the URL alone (server-part "/"
+// hint-part), so every tier node derives the same owner without running the
+// grouping mechanism. All classes grouped from one (server, hint) pair share
+// one key and therefore one owner. In the classless modes — where there is
+// no class to co-locate — the URL itself is the key. URLs that fail to
+// partition fall back to the raw URL; they fail identically on every node,
+// so placement stays consistent.
+func (e *Engine) OwnerKey(url string) string {
+	if e.cfg.Mode != ModeClassBased {
+		return url
+	}
+	parts, err := e.cfg.Rules.Partition(url)
+	if err != nil {
+		return url
+	}
+	return parts.Server + "/" + parts.Hint
+}
+
+// OwnerKeyForClass maps a class ID ("server/hint#seq") back to its
+// cluster-ownership key by trimming the grouping sequence suffix, so
+// status tooling can attribute stored classes to tier nodes.
+func OwnerKeyForClass(classID string) string {
+	if i := strings.LastIndexByte(classID, '#'); i >= 0 {
+		return classID[:i]
+	}
+	return classID
+}
+
+// ObserveForward records the duration of one intra-tier forward hop in the
+// pipeline stage histogram (obs.StageForward). The hop is measured by the
+// delta-server rather than inside Process because the forward replaces the
+// local pipeline entirely.
+func (e *Engine) ObserveForward(d time.Duration) {
+	e.stageHist[obs.StageForward].Observe(d.Seconds())
+}
+
 // advanceAnonymization drives the class's anonymization pipeline: it starts
 // a process when the selector has a newer base than the one being (or
 // already) distributed, feeds the current request into a running process,
@@ -908,8 +947,18 @@ func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) 
 	if cs.class != nil {
 		cs.class.SetMatchBase(base)
 	}
-	for old, obv := range cs.bases {
-		if old <= v-e.cfg.KeepBaseVersions {
+	// Keep the KeepBaseVersions highest version numbers. Counting versions
+	// rather than measuring numeric distance matters under per-node version
+	// striding (basefile.Config.VersionStride), where consecutive versions
+	// differ by the cluster size.
+	if len(cs.bases) > e.cfg.KeepBaseVersions {
+		versions := make([]int, 0, len(cs.bases))
+		for old := range cs.bases {
+			versions = append(versions, old)
+		}
+		sort.Ints(versions)
+		for _, old := range versions[:len(versions)-e.cfg.KeepBaseVersions] {
+			obv := cs.bases[old]
 			delete(cs.bases, old)
 			obv.release()
 		}

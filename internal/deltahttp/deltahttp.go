@@ -49,6 +49,16 @@ const (
 	HeaderEncoding = "X-CBDE-Encoding"
 )
 
+// Cluster headers.
+const (
+	// HeaderForwarded carries the node ID of the peer that forwarded a
+	// request to this node — the one-hop guard. A request already bearing
+	// it is never forwarded again, regardless of ownership, which bounds
+	// every request to at most one intra-tier hop even when peers briefly
+	// disagree about membership.
+	HeaderForwarded = "X-CBDE-Forwarded"
+)
+
 // HeaderEncoding values.
 const (
 	// EncodingVdelta is a raw vdelta instruction stream.
@@ -87,6 +97,13 @@ const (
 	// budget, resident bytes by kind, resident versus tracked classes,
 	// prune/evict counters, and the recent eviction log.
 	StorePath = "/_cbde/store"
+	// HealthPath answers 200 while the server is able to take traffic;
+	// the cluster prober polls it to drive failover.
+	HealthPath = "/_cbde/health"
+	// ClusterPath serves the node's cluster view as JSON: membership with
+	// liveness, owned-class share, and forward/redirect counters. 404 when
+	// the server runs standalone.
+	ClusterPath = "/_cbde/cluster"
 )
 
 // Held is one (class, version) pair a client advertises.

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cbde/internal/cluster"
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
 	"cbde/internal/metrics"
@@ -59,6 +60,15 @@ func WithCookieIdentity() Option {
 	return func(s *Server) { s.assignCookies = true }
 }
 
+// WithCluster joins the server to a delta-server tier: document requests
+// for classes this node does not own are forwarded (or 307-redirected) to
+// the owning peer, and base-files missing locally are fetched peer-to-peer
+// from the owner. The caller owns the cluster's prober lifecycle (Start /
+// Stop).
+func WithCluster(c *cluster.Cluster) Option {
+	return func(s *Server) { s.cluster = c }
+}
+
 // WithRequestLog makes the server emit one structured log record per
 // document request: a monotone request ID, route, user, response kind and
 // wire size, total duration, and — when the engine's tracer is enabled —
@@ -78,6 +88,7 @@ type Server struct {
 	uidCounter    atomic.Uint64
 	log           *slog.Logger
 	reqSeq        atomic.Uint64
+	cluster       *cluster.Cluster
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -117,6 +128,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveMetrics(w)
 	case r.URL.Path == deltahttp.StorePath:
 		s.serveStore(w)
+	case r.URL.Path == deltahttp.HealthPath:
+		s.serveHealth(w)
+	case r.URL.Path == deltahttp.ClusterPath:
+		s.serveCluster(w)
 	case r.Method != http.MethodGet:
 		// Only GET responses are delta-encoded; everything else passes
 		// through untouched (transparency).
@@ -164,6 +179,15 @@ func (s *Server) serveBase(w http.ResponseWriter, r *http.Request) {
 	}
 	base, ok := s.engine.BaseFileView(classID, version)
 	if !ok {
+		// Not resident here. In a cluster the class owner minted (and
+		// holds) the version, so fetch it peer-to-peer through the owner's
+		// own cachable base endpoint — one hop, same guard as documents.
+		if s.cluster != nil && r.Header.Get(deltahttp.HeaderForwarded) == "" {
+			owner := s.cluster.Owner(core.OwnerKeyForClass(classID))
+			if owner.ID != s.cluster.Self().ID && s.proxyBase(w, r, owner) {
+				return
+			}
+		}
 		http.Error(w, "base-file not available", http.StatusNotFound)
 		return
 	}
@@ -173,6 +197,36 @@ func (s *Server) serveBase(w http.ResponseWriter, r *http.Request) {
 	h.Set(deltahttp.HeaderClass, classID)
 	h.Set(deltahttp.HeaderBaseVersion, strconv.Itoa(version))
 	_, _ = w.Write(base)
+}
+
+// proxyBase relays a base-file request to the owning peer. Reports whether
+// the response was written; a transport failure or a miss at the owner
+// leaves the response untouched so the caller can 404.
+func (s *Server) proxyBase(w http.ResponseWriter, r *http.Request, owner cluster.Node) bool {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, owner.URL+r.URL.RequestURI(), nil)
+	if err != nil {
+		return false
+	}
+	req.Header.Set(deltahttp.HeaderForwarded, s.cluster.Self().ID)
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	s.cluster.Ctr.RemoteBase.Inc()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
 }
 
 // serveStats dumps engine counters (plain text), or serves per-class stats
@@ -226,6 +280,27 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 	_ = s.engine.Metrics().Expose(w)
 }
 
+// serveHealth answers the cluster prober (and any external checker): a 200
+// means the server is taking traffic.
+func (s *Server) serveHealth(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// serveCluster serves this node's cluster view as JSON: membership with
+// liveness, owned-class share, and the tier's traffic counters. 404 when
+// the server runs standalone, so tooling can feature-detect the tier.
+func (s *Server) serveCluster(w http.ResponseWriter) {
+	if s.cluster == nil {
+		http.Error(w, "not clustered", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.cluster.Status())
+}
+
 // reqRecord accumulates what one document request's log line reports.
 type reqRecord struct {
 	id      uint64
@@ -260,14 +335,105 @@ func (s *Server) emit(r *http.Request, rec *reqRecord) {
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request", attrs...)
 }
 
-// serveDocument fetches the current snapshot from the origin and responds
-// with a delta or the full document.
+// serveDocument routes one document request through the cluster tier (when
+// enabled) and then through the local encoding pipeline.
 func (s *Server) serveDocument(w http.ResponseWriter, r *http.Request) {
 	var rec *reqRecord
 	if s.log != nil {
 		rec = &reqRecord{id: s.reqSeq.Add(1), start: time.Now(), outcome: "full"}
 		defer func() { s.emit(r, rec) }()
 	}
+	if s.cluster != nil && !s.dispatchOwned(w, r, rec) {
+		return
+	}
+	s.serveDocumentLocal(w, r, rec)
+}
+
+// dispatchOwned implements the tier's ownership protocol for one document
+// request. It reports true when the request should run the local pipeline:
+// this node owns the class, the request already crossed its one allowed
+// forward hop, or the forward failed and local serving is the fallback
+// (any node serves any class correctly — ownership is affinity, not
+// authority). It reports false when the response was already written: a
+// proxied owner response, or a 307 redirect.
+func (s *Server) dispatchOwned(w http.ResponseWriter, r *http.Request, rec *reqRecord) bool {
+	if r.Header.Get(deltahttp.HeaderForwarded) != "" {
+		// Hop guard: the request already crossed one intra-tier hop. Serve
+		// it here no matter who we think owns it — under inconsistent
+		// liveness views two nodes may each believe the other is the owner,
+		// and bouncing would loop forever.
+		s.cluster.Ctr.HopGuard.Inc()
+		return true
+	}
+	host := s.publicHost
+	if host == "" {
+		host = r.Host
+	}
+	owner := s.cluster.Owner(s.engine.OwnerKey(host + r.URL.RequestURI()))
+	if owner.ID == s.cluster.Self().ID {
+		s.cluster.Ctr.Owned.Inc()
+		return true
+	}
+	if s.cluster.Redirect() {
+		s.cluster.Ctr.Redirected.Inc()
+		if rec != nil {
+			rec.outcome = "redirected"
+		}
+		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		return false
+	}
+	start := time.Now()
+	wire, err := s.forward(w, r, owner)
+	if err != nil {
+		// Owner unreachable — typically the window between a peer dying and
+		// the prober marking it dead. Fall back to serving locally so the
+		// client never sees the failure.
+		s.cluster.Ctr.ForwardErrors.Inc()
+		return true
+	}
+	s.cluster.Ctr.Forwarded.Inc()
+	s.engine.ObserveForward(time.Since(start))
+	if rec != nil {
+		rec.outcome = "forwarded"
+		rec.wire = wire
+	}
+	return false
+}
+
+// forward proxies a document request to the owning peer and relays the
+// response verbatim. Returns the payload bytes relayed.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner cluster.Node) (int, error) {
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, owner.URL+r.URL.RequestURI(), nil)
+	if err != nil {
+		return 0, err
+	}
+	// The owner must classify on the original client's identity: every
+	// request header crosses the hop intact — X-CBDE-User, Cookie, and the
+	// delta capability/held-base set — and the Host header is preserved
+	// because class identity derives from it. The owner's response headers
+	// (including any Set-Cookie minting a uid) flow back the same way.
+	req.Header = r.Header.Clone()
+	req.Header.Set(deltahttp.HeaderForwarded, s.cluster.Self().ID)
+	req.Host = r.Host
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	n, _ := io.Copy(w, resp.Body)
+	return int(n), nil
+}
+
+// serveDocumentLocal fetches the current snapshot from the origin and
+// responds with a delta or the full document.
+func (s *Server) serveDocumentLocal(w http.ResponseWriter, r *http.Request, rec *reqRecord) {
 	doc, contentType, status, err := s.fetchOrigin(r)
 	if err != nil {
 		if rec != nil {

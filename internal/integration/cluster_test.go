@@ -1,0 +1,284 @@
+package integration
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cbde/internal/anonymize"
+	"cbde/internal/basefile"
+	"cbde/internal/cluster"
+	"cbde/internal/core"
+	"cbde/internal/deltaserver"
+	"cbde/internal/loadgen"
+	"cbde/internal/origin"
+)
+
+// tier is an n-node delta-server cluster over one origin, with live health
+// probing between the nodes.
+type tier struct {
+	site     *origin.Site
+	engines  []*core.Engine
+	clusters []*cluster.Cluster
+	fronts   []*httptest.Server
+	urls     []string
+}
+
+func newTier(t *testing.T, n int) *tier {
+	t.Helper()
+	site := origin.NewSite(origin.Config{
+		Host:  "www.shop.com",
+		Style: origin.StylePathSegments,
+		Depts: []origin.Dept{
+			{Name: "laptops", Items: 12},
+			{Name: "desktops", Items: 12},
+		},
+		TemplateBytes: 12000,
+		ItemBytes:     1200,
+		ChurnBytes:    500,
+		Personalized:  true,
+		Seed:          99,
+	})
+	originSrv := httptest.NewServer(site.Handler())
+	t.Cleanup(originSrv.Close)
+
+	tr := &tier{site: site}
+	servers := make([]*deltaserver.Server, n)
+	for i := 0; i < n; i++ {
+		i := i
+		front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			servers[i].ServeHTTP(w, r)
+		}))
+		tr.fronts = append(tr.fronts, front)
+		tr.urls = append(tr.urls, front.URL)
+	}
+	peers := make([]cluster.Node, n)
+	for i := range peers {
+		peers[i] = cluster.Node{ID: fmt.Sprintf("node-%d", i), URL: tr.urls[i]}
+	}
+	for i := 0; i < n; i++ {
+		cl, err := cluster.New(cluster.Config{
+			Self:          peers[i].ID,
+			Peers:         peers,
+			ProbeInterval: 20 * time.Millisecond,
+			FailThreshold: 2,
+			RiseThreshold: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		now := time.Unix(1_000_000, 0)
+		eng, err := core.NewEngine(core.Config{
+			Anon: anonymize.Config{M: 1, N: 3},
+			Selector: basefile.Config{
+				VersionStride: cl.Size(),
+				VersionOffset: cl.SelfIndex(),
+			},
+			Now: func() time.Time {
+				mu.Lock()
+				defer mu.Unlock()
+				now = now.Add(time.Second)
+				return now
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := deltaserver.New(originSrv.URL, eng,
+			deltaserver.WithPublicHost("www.shop.com"), deltaserver.WithCluster(cl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		cl.Start()
+		t.Cleanup(cl.Stop)
+		tr.engines = append(tr.engines, eng)
+		tr.clusters = append(tr.clusters, cl)
+	}
+	// fronts are closed individually (the kill test closes one mid-test);
+	// close whatever survives at cleanup.
+	t.Cleanup(func() {
+		for _, f := range tr.fronts {
+			if f != nil {
+				f.Close()
+			}
+		}
+	})
+	return tr
+}
+
+func (tr *tier) forwardedTotal() int64 {
+	var total int64
+	for _, cl := range tr.clusters {
+		total += cl.Ctr.Forwarded.Value()
+	}
+	return total
+}
+
+// kill closes node i's listener and waits until every surviving node's
+// prober has marked it dead, so its classes have failed over.
+func (tr *tier) kill(t *testing.T, i int) {
+	t.Helper()
+	tr.fronts[i].Close()
+	tr.fronts[i] = nil
+	deadID := tr.clusters[i].Self().ID
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		allDead := true
+		for j, cl := range tr.clusters {
+			if j != i && cl.Alive(deadID) {
+				allDead = false
+			}
+		}
+		if allDead {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("survivors never marked the killed node dead")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+var tierPaths = []string{
+	"/laptops/0", "/laptops/1", "/laptops/2", "/laptops/3",
+	"/desktops/0", "/desktops/1", "/desktops/2", "/desktops/3",
+}
+
+// TestClusterVerifyAcrossNodes: loadgen with Verify sprays delta-capable
+// clients across all three nodes; every reconstruction must byte-match a
+// plain re-fetch, non-owned requests must actually cross the tier, and
+// every node must mint versions only in its own residue class.
+func TestClusterVerifyAcrossNodes(t *testing.T) {
+	tr := newTier(t, 3)
+	res, err := loadgen.Run(loadgen.Config{
+		ServerURLs:        tr.urls,
+		Paths:             tierPaths,
+		Clients:           9,
+		RequestsPerClient: 20,
+		Verify:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d document mismatches across the tier", res.Mismatches)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d request errors across the tier", res.Errors)
+	}
+	if res.DeltaResponses == 0 {
+		t.Error("no delta responses — the tier never warmed")
+	}
+	if tr.forwardedTotal() == 0 {
+		t.Error("no request crossed the tier; forwarding untested")
+	}
+	for i, eng := range tr.engines {
+		stride := tr.clusters[i].Size()
+		offset := tr.clusters[i].SelfIndex()
+		for _, cs := range eng.AllClassStats() {
+			if cs.BaseVersion > 0 && cs.BaseVersion%stride != offset {
+				t.Errorf("node %d minted version %d for class %s outside residue %d (mod %d)",
+					i, cs.BaseVersion, cs.ID, offset, stride)
+			}
+		}
+	}
+}
+
+// TestClusterNodeKillFailover: kill one node mid-test; its classes fail
+// over, the new owners re-warm from traffic with version numbers no other
+// node could have minted, and verification stays byte-exact throughout.
+func TestClusterNodeKillFailover(t *testing.T) {
+	tr := newTier(t, 3)
+
+	// Phase 1: warm the whole tier.
+	res, err := loadgen.Run(loadgen.Config{
+		ServerURLs:        tr.urls,
+		Paths:             tierPaths,
+		Clients:           9,
+		RequestsPerClient: 12,
+		Verify:            true,
+		UserPrefix:        "pre",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("phase 1: %d mismatches", res.Mismatches)
+	}
+
+	// Kill the node that owns /laptops/1's class so an ownership move
+	// provably happens.
+	key := tr.engines[0].OwnerKey("www.shop.com/laptops/1")
+	victim := -1
+	for i, cl := range tr.clusters {
+		if cl.Owner(key).ID == cl.Self().ID {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no node owns the probe key")
+	}
+	tr.kill(t, victim)
+
+	// The survivors now agree on a new owner for the moved class.
+	var survivors []string
+	var surviving []*cluster.Cluster
+	for i, cl := range tr.clusters {
+		if i != victim {
+			survivors = append(survivors, tr.urls[i])
+			surviving = append(surviving, cl)
+		}
+	}
+	newOwner := surviving[0].Owner(key).ID
+	if newOwner == tr.clusters[victim].Self().ID {
+		t.Fatal("dead node still owns the moved class")
+	}
+	if got := surviving[1].Owner(key).ID; got != newOwner {
+		t.Fatalf("survivors disagree on the new owner: %q vs %q", newOwner, got)
+	}
+
+	// Phase 2: same workload across the survivors, fresh client identities
+	// (their held bases reference versions the dead node minted; the new
+	// owner serves them full documents and re-advertises its own versions —
+	// degraded, never corrupt).
+	tr.site.Advance(1)
+	res, err = loadgen.Run(loadgen.Config{
+		ServerURLs:        survivors,
+		Paths:             tierPaths,
+		Clients:           8,
+		RequestsPerClient: 16,
+		Verify:            true,
+		UserPrefix:        "post",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("phase 2 (after node kill): %d mismatches", res.Mismatches)
+	}
+	if res.Errors != 0 {
+		t.Errorf("phase 2: %d request errors", res.Errors)
+	}
+
+	// Version-safety across the move: every version any surviving node
+	// minted stays in its residue class, so nothing the dead node handed
+	// out can collide with re-warmed state.
+	for i, eng := range tr.engines {
+		if i == victim {
+			continue
+		}
+		stride := tr.clusters[i].Size()
+		offset := tr.clusters[i].SelfIndex()
+		for _, cs := range eng.AllClassStats() {
+			if cs.BaseVersion > 0 && cs.BaseVersion%stride != offset {
+				t.Errorf("node %d version %d for class %s outside residue %d (mod %d)",
+					i, cs.BaseVersion, cs.ID, offset, stride)
+			}
+		}
+	}
+}

@@ -22,6 +22,12 @@ import (
 type Config struct {
 	// ServerURL is the delta-server (or proxy-cache) base URL.
 	ServerURL string
+	// ServerURLs, when set, sprays clients across a delta-server tier:
+	// client c talks to ServerURLs[c % len(ServerURLs)] for its entire run
+	// (deltas, base-files, and Verify re-fetches all go through the
+	// client's own node, exactly as a load balancer would pin it). Takes
+	// precedence over ServerURL.
+	ServerURLs []string
 	// Paths are the document paths clients rotate through.
 	Paths []string
 	// Clients is the number of concurrent delta-capable clients.
@@ -49,7 +55,10 @@ type Config struct {
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if c.ServerURL == "" {
+	if len(c.ServerURLs) == 0 && c.ServerURL != "" {
+		c.ServerURLs = []string{c.ServerURL}
+	}
+	if len(c.ServerURLs) == 0 {
 		return c, fmt.Errorf("loadgen: ServerURL required")
 	}
 	if len(c.Paths) == 0 {
@@ -141,11 +150,12 @@ func Run(cfg Config) (Result, error) {
 		go func(c int) {
 			defer wg.Done()
 			user := fmt.Sprintf("%s-%d", cfg.UserPrefix, c)
+			server := cfg.ServerURLs[c%len(cfg.ServerURLs)]
 			opts := []deltaclient.Option{deltaclient.WithUser(user)}
 			if cfg.VCDIFF {
 				opts = append(opts, deltaclient.WithVCDIFF())
 			}
-			cl := deltaclient.New(cfg.ServerURL, opts...)
+			cl := deltaclient.New(server, opts...)
 
 			var docBytes int64
 			errs, mismatches := 0, 0
@@ -167,7 +177,7 @@ func Run(cfg Config) (Result, error) {
 				}
 				docBytes += int64(len(doc))
 				if cfg.Verify {
-					plain, err := fetchPlain(cfg.ServerURL+path, user)
+					plain, err := fetchPlain(server+path, user)
 					if err != nil {
 						errs++
 					} else if !bytes.Equal(doc, plain) {

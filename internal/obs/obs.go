@@ -48,12 +48,16 @@ const (
 	// runs after the response is built when resident bytes exceed the
 	// memory budget. Zero for unbudgeted engines and under-budget requests.
 	StageEvict
+	// StageForward is the cluster tier's intra-tier hop: the time a
+	// non-owning node spends proxying the request to the class owner.
+	// Zero for standalone servers and owner-served requests.
+	StageForward
 
 	// NumStages is the number of stages; valid stages are < NumStages.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"route", "select", "anon", "memo", "encode", "gzip", "evict"}
+var stageNames = [NumStages]string{"route", "select", "anon", "memo", "encode", "gzip", "evict", "forward"}
 
 // String implements fmt.Stringer.
 func (s Stage) String() string {
@@ -66,7 +70,7 @@ func (s Stage) String() string {
 // Stages lists every stage in pipeline order, for callers that pre-resolve
 // per-stage metrics.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageMemo, StageEncode, StageGzip, StageEvict}
+	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageMemo, StageEncode, StageGzip, StageEvict, StageForward}
 }
 
 // Span is the accumulated cost of one stage within one trace.
