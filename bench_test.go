@@ -772,3 +772,107 @@ func BenchmarkRebaseTimeout(b *testing.B) {
 	b.ReportMetric(float64(rows[1].GroupRebases), "rebases@1h")
 	b.ReportMetric(rows[1].Savings, "savings%@1h")
 }
+
+// BenchmarkStoreSpillFaultIn prices the disk tier's promotion path against
+// the alternative it replaces. Both sub-benchmarks demote one warm class
+// every iteration; "faultin" (spill dir set) restores the class from its
+// compact blob and serves the returning client a delta, while "rewarm" (no
+// tier) loses the class state with the eviction and ships the client a
+// full response while the class re-warms from traffic. wireB/op is the
+// payload shipped per returning client — the paper's bandwidth metric
+// under eviction churn — and delta-frac is the delta-served fraction.
+func BenchmarkStoreSpillFaultIn(b *testing.B) {
+	for _, tier := range []bool{true, false} {
+		name := "rewarm"
+		if tier {
+			name = "faultin"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{
+				DisableAnonymization: true,
+				// No sampling and no timed rebases: versions move only
+				// through the demotion cycle under test.
+				Selector: basefile.Config{SampleProb: -1, RebaseTimeout: time.Hour},
+				Now:      monotonic(),
+			}
+			if tier {
+				cfg.SpillDir = b.TempDir()
+				// Bounded so a long -benchtime run compacts dead segments
+				// instead of filling the disk; the live record survives
+				// compaction (the newest segment is never dropped).
+				cfg.DiskBudget = 16 << 20
+			}
+			eng, err := core.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			site := origin.NewSite(origin.Config{
+				Host:          "www.spill.com",
+				Depts:         []origin.Dept{{Name: "catalog", Items: 2}},
+				TemplateBytes: 30000,
+				ItemBytes:     3000,
+				ChurnBytes:    1500,
+				Seed:          7100,
+			})
+			url := "www.spill.com/catalog/0"
+			doc0, err := site.Render("catalog", 0, "", 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp, err := eng.Process(core.Request{URL: url, UserID: "warm", Doc: doc0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.LatestVersion == 0 {
+				b.Fatal("no distributable base after warmup")
+			}
+			classID, version := resp.ClassID, resp.LatestVersion
+			var docs [][]byte
+			for t := 0; t < 16; t++ {
+				doc, err := site.Render("catalog", 0, "", 10+t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				docs = append(docs, doc)
+			}
+
+			var wire int64
+			deltas, fulls := 0, 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := eng.EvictClass(classID); !ok {
+					b.Fatal("evict failed")
+				}
+				doc := docs[i%len(docs)]
+				resp, err := eng.Process(core.Request{
+					URL: url, UserID: "bench", Doc: doc,
+					HaveClassID: classID, HaveVersion: version,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Kind == core.KindDelta {
+					deltas++
+					wire += int64(len(resp.Payload))
+				} else {
+					fulls++
+					wire += int64(len(doc))
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(wire)/float64(b.N), "wireB/op")
+			b.ReportMetric(float64(deltas)/float64(b.N), "delta-frac")
+			if tier {
+				if fulls > 0 {
+					b.Fatalf("fault-in path served %d full responses", fulls)
+				}
+				if st := eng.SpillStats(); st.FaultIns == 0 {
+					b.Fatalf("tier never faulted in: %+v", st)
+				}
+			} else if deltas > 0 {
+				b.Fatalf("rewarm path unexpectedly served %d deltas", deltas)
+			}
+		})
+	}
+}

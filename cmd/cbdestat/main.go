@@ -51,6 +51,7 @@ var coreSeries = []string{
 	"cbde_stage_duration_seconds_sum",
 	"cbde_stage_duration_seconds_count",
 	"cbde_process_duration_seconds_bucket",
+	"cbde_process_duration_seconds_quantile",
 	"requests",
 	"bytes_direct",
 }
@@ -134,6 +135,7 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		var st struct {
 			store.Stats
 			DeltaCache core.DeltaCacheStats `json:"deltaCache"`
+			Disk       store.TierStats      `json:"disk"`
 		}
 		if err := json.Unmarshal(body, &st); err != nil {
 			return fmt.Errorf("parse store snapshot: %w", err)
@@ -149,6 +151,15 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		if dc := st.DeltaCache; dc.Enabled {
 			fmt.Fprintf(out, "delta-cache: %d hits, %d misses, %d coalesced, %d entries (%d bytes), %d invalidations\n",
 				dc.Hits, dc.Misses, dc.Coalesced, dc.Entries, dc.Bytes, dc.Invalidations)
+		}
+		if d := st.Disk; d.Enabled {
+			diskBudget := "unbounded"
+			if d.BudgetBytes > 0 {
+				diskBudget = fmt.Sprintf("%d budget", d.BudgetBytes)
+			}
+			fmt.Fprintf(out, "disk: %d bytes in %d segments (%s; %d live), %d spilled classes, %d spills, %d fault-ins, %d drops, %d errors\n",
+				d.DiskBytes, d.Segments, diskBudget, d.LiveBytes,
+				d.SpilledClasses, d.Spills, d.FaultIns, d.Drops, d.Errors)
 		}
 		for i := max(0, len(st.Log)-3); i < len(st.Log); i++ {
 			r := st.Log[i]
@@ -198,7 +209,7 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON\tRESIDENT\tEV/RW")
+	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON\tRESIDENT\tEV/RW/FI")
 	for _, r := range rows {
 		// Completed anonymization processes are discarded by the engine,
 		// so inactive classes show "-" rather than guessing done vs off.
@@ -208,13 +219,20 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		}
 		base := fmt.Sprintf("v%d", r.BaseVersion)
 		if r.Evicted {
-			base = "evicted"
+			// A spilled class is evicted from RAM but one fault-in away
+			// from serving deltas again; a plainly evicted one must
+			// re-warm from traffic.
+			if r.Spilled {
+				base = "spilled"
+			} else {
+				base = "evicted"
+			}
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%d\t%d/%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%d\t%d/%d/%d\n",
 			r.ID, r.Requests, r.DeltaHits, r.DeltaMisses,
 			r.BytesIn, r.BytesShipped, 100*r.Savings(),
 			base, r.BaseAge.Round(time.Second), anon,
-			r.ResidentBytes, r.Evictions, r.Rewarms)
+			r.ResidentBytes, r.Evictions, r.Rewarms, r.FaultIns)
 	}
 	return tw.Flush()
 }

@@ -62,7 +62,9 @@ func run(args []string) error {
 
 		maxDeltaRatio = fs.Float64("max-delta-ratio", 0.5, "basic-rebase when delta exceeds this fraction of the doc")
 
-		memBudget = fs.String("mem-budget", "", "class-storage byte budget with optional k/m/g suffix (e.g. 64m); empty = unbudgeted")
+		memBudget  = fs.String("mem-budget", "", "class-storage byte budget with optional k/m/g suffix (e.g. 64m); empty = unbudgeted")
+		spillDir   = fs.String("spill-dir", "", "spill evicted classes to compact binary segments in this directory and fault them back in on demand; empty = disabled")
+		diskBudget = fs.String("disk-budget", "", "disk-tier byte budget with optional k/m/g suffix; oldest spill segments are dropped when exceeded (with -spill-dir; empty = unbounded)")
 
 		deltaCache        = fs.Bool("delta-cache", true, "memoize encoded deltas per class with singleflight coalescing")
 		deltaCacheEntries = fs.Int("delta-cache-entries", 0, "max memoized deltas per class (0 = default 256)")
@@ -100,6 +102,13 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("-mem-budget: %w", err)
 	}
+	diskBytes, err := parseBytes(*diskBudget)
+	if err != nil {
+		return fmt.Errorf("-disk-budget: %w", err)
+	}
+	if diskBytes > 0 && *spillDir == "" {
+		return fmt.Errorf("-disk-budget requires -spill-dir")
+	}
 
 	// The cluster comes up before the engine: the node's position in the
 	// tier decides the engine's version-numbering stride, so two nodes can
@@ -133,8 +142,10 @@ func run(args []string) error {
 	}
 
 	eng, err := core.NewEngine(core.Config{
-		Mode:      m,
-		MemBudget: budget,
+		Mode:       m,
+		MemBudget:  budget,
+		SpillDir:   *spillDir,
+		DiskBudget: diskBytes,
 		Classify: classify.Config{
 			MaxProbes:       *maxProbes,
 			PopularFraction: *popular,
@@ -163,7 +174,9 @@ func run(args []string) error {
 		if err := loadState(eng, *stateFile); err != nil {
 			return err
 		}
-		go saveStateLoop(eng, *stateFile, *stateSave)
+	}
+	if *stateFile != "" || *spillDir != "" {
+		go shutdownLoop(eng, *stateFile, *spillDir, *stateSave)
 	}
 
 	var opts []deltaserver.Option
@@ -203,6 +216,10 @@ func run(args []string) error {
 	log.Printf("deltaserver: %s mode, fronting %s on %s (stats at /_cbde/stats, metrics at /_cbde/metrics)", m, *originURL, *addr)
 	if budget > 0 {
 		log.Printf("deltaserver: class-storage budget %d bytes (snapshot at /_cbde/store)", budget)
+	}
+	if *spillDir != "" {
+		ts := eng.SpillStats()
+		log.Printf("deltaserver: disk tier at %s (budget %d bytes, %d classes recovered)", *spillDir, diskBytes, ts.SpilledClasses)
 	}
 	return http.ListenAndServe(*addr, srv)
 }
@@ -270,25 +287,48 @@ func loadState(eng *core.Engine, path string) error {
 	return nil
 }
 
-// saveStateLoop persists state periodically and on SIGINT/SIGTERM.
-func saveStateLoop(eng *core.Engine, path string, every time.Duration) {
+// shutdownLoop persists NDJSON state periodically (with -state) and, on
+// SIGINT/SIGTERM, flushes everything durable before exiting: the NDJSON
+// snapshot if configured, and — with the disk tier on — a spill record per
+// class, so the next process recovers from segment headers alone with no
+// NDJSON replay.
+func shutdownLoop(eng *core.Engine, statePath, spillDir string, every time.Duration) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(every)
-	defer ticker.Stop()
+	var tick <-chan time.Time
+	if statePath != "" {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
-		case <-ticker.C:
-			if err := saveState(eng, path); err != nil {
+		case <-tick:
+			if err := saveState(eng, statePath); err != nil {
 				log.Printf("deltaserver: periodic state save: %v", err)
 			}
 		case s := <-sig:
-			if err := saveState(eng, path); err != nil {
-				log.Printf("deltaserver: shutdown state save: %v", err)
-				os.Exit(1)
+			code := 0
+			if statePath != "" {
+				if err := saveState(eng, statePath); err != nil {
+					log.Printf("deltaserver: shutdown state save: %v", err)
+					code = 1
+				} else {
+					log.Printf("deltaserver: state saved to %s on %v", statePath, s)
+				}
 			}
-			log.Printf("deltaserver: state saved to %s on %v; exiting", path, s)
-			os.Exit(0)
+			if spillDir != "" {
+				n, err := eng.SpillAll()
+				if err != nil {
+					log.Printf("deltaserver: shutdown spill: %v", err)
+					code = 1
+				}
+				log.Printf("deltaserver: spilled %d classes to %s on %v", n, spillDir, s)
+			}
+			if err := eng.Close(); err != nil {
+				log.Printf("deltaserver: close disk tier: %v", err)
+			}
+			os.Exit(code)
 		}
 	}
 }

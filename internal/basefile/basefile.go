@@ -580,6 +580,117 @@ func (s *Selector) Restore(base []byte, tag string, version int, lastRebase time
 	s.hasRebased = version > s.nextVersionLocked(0)
 }
 
+// SpillDoc is one stored sample in a selector spill snapshot.
+type SpillDoc struct {
+	Bytes []byte
+	Tag   string
+}
+
+// SpillState is the selector state worth demoting to the disk tier: the
+// working base, the version counter, and the sampled documents. The
+// distance matrix is deliberately excluded — it is derived data, cheaply
+// recomputed on fault-in.
+type SpillState struct {
+	Base       []byte
+	BaseTag    string
+	Version    int
+	Candidates []SpillDoc
+	Refs       []SpillDoc
+}
+
+// SpillState snapshots the selector for the disk tier. The returned byte
+// slices alias the selector's internal buffers, which are replaced (never
+// mutated in place) by every mutation path, so the snapshot stays stable
+// even if the selector is dropped or re-warmed afterwards.
+func (s *Selector) SpillState() SpillState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := SpillState{Base: s.base, BaseTag: s.baseTag, Version: s.version}
+	for i := range s.candidates {
+		st.Candidates = append(st.Candidates, SpillDoc{Bytes: s.candidates[i].doc, Tag: s.candidates[i].tag})
+	}
+	if s.cfg.Eviction == EvictTwoSet {
+		for i := range s.refs {
+			st.Refs = append(st.Refs, SpillDoc{Bytes: s.refs[i].doc, Tag: s.refs[i].tag})
+		}
+	}
+	return st
+}
+
+// RestoreSpill faults a spill snapshot back into the selector: base, tag,
+// version high-water mark, and stored samples, with the distance matrix
+// recomputed under the current eviction policy. Samples beyond MaxSamples
+// (e.g. the config shrank across a restart) are dropped newest-last. The
+// selector takes ownership of the snapshot's byte slices — fault-in
+// decoding always produces fresh buffers.
+func (s *Selector) RestoreSpill(st SpillState, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.syncStoredLocked()
+	if len(st.Base) > 0 {
+		s.base = st.Base
+		s.baseTag = st.BaseTag
+	}
+	if st.Version > s.version {
+		s.version = st.Version
+	}
+	s.lastRebase = now
+	s.hasRebased = s.version > s.nextVersionLocked(0)
+
+	K := s.cfg.MaxSamples
+	cands := st.Candidates
+	if len(cands) > K {
+		cands = cands[:K]
+	}
+	s.candidates = nil
+	s.refs = nil
+	s.dists = nil
+	for _, d := range cands {
+		s.candidates = append(s.candidates, sample{doc: d.Bytes, tag: d.Tag})
+	}
+	if s.cfg.Eviction == EvictTwoSet {
+		refs := st.Refs
+		if len(refs) > K {
+			refs = refs[:K]
+		}
+		for _, d := range refs {
+			s.refs = append(s.refs, sample{doc: d.Bytes, tag: d.Tag})
+		}
+		for i := range s.candidates {
+			row := make([]int, len(s.refs))
+			for j := range s.refs {
+				row[j] = s.cfg.DeltaSize(s.candidates[i].doc, s.refs[j].doc)
+			}
+			s.dists = append(s.dists, row)
+		}
+		return
+	}
+	// Single-set variants: references are the candidates themselves.
+	for i := range s.candidates {
+		row := make([]int, len(s.candidates))
+		for j := range s.candidates {
+			if i != j {
+				row[j] = s.cfg.DeltaSize(s.candidates[i].doc, s.candidates[j].doc)
+			}
+		}
+		s.dists = append(s.dists, row)
+	}
+}
+
+// RaiseVersion lifts the version counter to at least v without touching
+// any other state. The fault-in path uses it when a spill record turns
+// out to be stale (the class re-warmed from traffic or an NDJSON restore
+// first): the record's bytes are discarded but its version high-water
+// mark must survive, so no number is ever reused for different bytes.
+func (s *Selector) RaiseVersion(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.version {
+		s.version = v
+		s.hasRebased = v > s.nextVersionLocked(0)
+	}
+}
+
 // bumpVersionLocked advances the version counter to the next number in this
 // node's stride class. With the default stride of 1 this is a plain
 // increment. Callers hold s.mu.

@@ -50,6 +50,13 @@ type ClassStats struct {
 	Evicted       bool  `json:"evicted,omitempty"`
 	Evictions     int64 `json:"evictions,omitempty"`
 	Rewarms       int64 `json:"rewarms,omitempty"`
+
+	// Spilled reports that a spill record for the class is indexed in the
+	// disk tier — an evicted-and-spilled class serves one fault-in instead
+	// of a re-warm when traffic returns. FaultIns counts how often the
+	// class has been restored from disk.
+	Spilled  bool  `json:"spilled,omitempty"`
+	FaultIns int64 `json:"faultIns,omitempty"`
 }
 
 // Savings is the class's bandwidth savings fraction (1 - shipped/in), or 0
@@ -73,10 +80,12 @@ func (e *Engine) classStats(cs *classState, now time.Time) ClassStats {
 		BytesShipped: cs.ctr.bytesShipped.Value(),
 	}
 	st.ResidentBytes = cs.res.Total()
+	st.Spilled = cs.spilled.Load()
 	cs.mu.RLock()
 	st.Evicted = cs.evicted
 	st.Evictions = cs.evictions
 	st.Rewarms = cs.rewarms
+	st.FaultIns = cs.faultIns
 	st.BaseVersion = cs.distVersion
 	if cs.distVersion != 0 {
 		if bv, ok := cs.bases[cs.distVersion]; ok {
@@ -167,6 +176,40 @@ func (e *Engine) collect(c *metrics.Collection) {
 	c.Counter("cbde_delta_cache_coalesced_total",
 		"Requests that coalesced onto another request's in-flight encode.",
 		nil, float64(e.ctr.memoCoalesced.Value()))
+
+	// Disk-tier series exist only when the tier is configured, so -check
+	// on untiered servers stays meaningful and dashboards can feature-
+	// detect spill support.
+	if e.spill != nil {
+		ts := e.SpillStats()
+		c.Counter("cbde_store_spills_total",
+			"Class spill records appended to the disk tier.",
+			nil, float64(ts.Spills))
+		c.Counter("cbde_store_faultin_total",
+			"Spilled classes faulted back in from the disk tier.",
+			nil, float64(ts.FaultIns))
+		c.Counter("cbde_store_spill_drops_total",
+			"Spilled classes lost to disk-budget segment compaction.",
+			nil, float64(ts.Drops))
+		c.Counter("cbde_store_spill_errors_total",
+			"Spill append, read, or decode failures (the class degrades like a plain eviction).",
+			nil, float64(ts.Errors))
+		c.Gauge("cbde_store_disk_bytes",
+			"Total bytes in spill segment files, including dead records.",
+			nil, float64(ts.DiskBytes))
+		c.Gauge("cbde_store_disk_live_bytes",
+			"Bytes of spill records still referenced by the index.",
+			nil, float64(ts.LiveBytes))
+		c.Gauge("cbde_store_disk_budget_bytes",
+			"Configured disk-tier byte budget (0 = unbounded).",
+			nil, float64(ts.BudgetBytes))
+		c.Gauge("cbde_store_spilled_classes",
+			"Classes with a spill record indexed in the disk tier.",
+			nil, float64(ts.SpilledClasses))
+		c.Gauge("cbde_store_spill_segments",
+			"Spill segment files on disk.",
+			nil, float64(ts.Segments))
+	}
 
 	now := e.cfg.Now()
 	states := e.states()

@@ -109,6 +109,21 @@ type Config struct {
 	// and re-warms from traffic, never erroring. 0 (default) disables
 	// governance: classes are retained forever, as before.
 	MemBudget int64
+	// SpillDir enables the disk tier: budget-evicted classes are demoted
+	// to compact binary blobs in segment files under this directory and
+	// faulted back in — served as deltas again — when traffic returns.
+	// A restart with a populated spill dir recovers the class index by
+	// scanning segment headers; bodies fault in lazily. Empty (default)
+	// disables the tier: eviction drops bytes and classes re-warm from
+	// traffic.
+	SpillDir string
+	// DiskBudget caps the spill tier's on-disk bytes; over budget, oldest
+	// segments are deleted and their classes degrade like plain evictions.
+	// 0 (default) leaves the tier unbounded. Requires SpillDir.
+	DiskBudget int64
+	// SpillSegmentBytes overrides the spill segment rotation size
+	// (default 4 MiB); tests use small values to force rotation.
+	SpillSegmentBytes int64
 	// DeltaCacheOff disables delta memoization. By default the engine
 	// memoizes each encoded (class, fromVersion, document, format) delta
 	// with singleflight coalescing (internal/deltacache), so repeated and
@@ -380,6 +395,17 @@ type classState struct {
 	evictions int64
 	rewarms   int64
 
+	// spill is the engine's disk tier (nil when disabled). spilled is the
+	// warm path's one-atomic-load hint that a spill record may exist for
+	// this class; faultMu serializes fault-in so a flash crowd on a
+	// spilled class triggers exactly one disk read + decode (singleflight
+	// per class — waiters block on the leader's mutex and re-check the
+	// flag). faultIns counts successful installs, guarded by mu.
+	spill    *store.Tier
+	spilled  atomic.Bool
+	faultMu  sync.Mutex
+	faultIns int64
+
 	// res is the class's share of the engine accountant's ledger: every
 	// byte delta is applied to both, so res.Total() is the class's resident
 	// footprint and the global ledger stays the exact sum over classes.
@@ -452,6 +478,15 @@ func (cs *classState) Prune() int64 {
 func (cs *classState) Evict() int64 {
 	before := cs.res.Total()
 	cs.mu.Lock()
+	// With the disk tier enabled, eviction is a demotion: capture the
+	// class's spillable state before the payload is dropped. The captured
+	// byte slices are immutable (every mutation path replaces, never
+	// edits, them), so the record stays valid for the append below even
+	// after the class is stripped.
+	var rec *store.ClassRecord
+	if cs.spill != nil {
+		rec = cs.spillRecordLocked()
+	}
 	for v, bv := range cs.bases {
 		delete(cs.bases, v)
 		bv.release()
@@ -467,6 +502,15 @@ func (cs *classState) Evict() int64 {
 	cs.selector.DropStored()
 	cs.purgeDeltas()
 	cs.mu.Unlock()
+	if rec != nil {
+		// Append outside cs.mu: the tier has its own lock and does disk
+		// I/O. On failure the class simply degrades like a plain eviction
+		// (the tier counts the error); the spilled flag flips only once
+		// the record is durably indexed.
+		if err := cs.spill.Append(*rec); err == nil {
+			cs.spilled.Store(true)
+		}
+	}
 	if freed := before - cs.res.Total(); freed > 0 {
 		return freed
 	}
@@ -506,6 +550,7 @@ type hotCounters struct {
 	memoMisses     *metrics.Counter // cache misses (the request led the encode)
 	memoCoalesced  *metrics.Counter // requests that waited on a leader's encode
 	encodeRuns     *metrics.Counter // delta encodes actually executed
+	faultIns       *metrics.Counter // spilled classes faulted in from disk
 }
 
 // Engine implements class-based delta-encoding. Create one with NewEngine;
@@ -523,6 +568,11 @@ type Engine struct {
 	// byte ledger.
 	cstore store.ClassStore
 	acct   *store.Accountant
+
+	// spill is the disk tier (Config.SpillDir); nil when disabled. The
+	// warm path's only interaction with it is one nil check plus one
+	// atomic flag load per request.
+	spill *store.Tier
 
 	// encBufs recycles the per-request delta scratch buffer (*encodeBuf).
 	// Together with the coder's own pooled index state and gzipx's pooled
@@ -586,6 +636,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.cstore = store.NewMap()
 	}
 	e.acct = e.cstore.Accountant()
+	if cfg.SpillDir != "" {
+		tier, err := store.OpenTier(store.TierConfig{
+			Dir:          cfg.SpillDir,
+			MaxBytes:     cfg.DiskBudget,
+			SegmentBytes: cfg.SpillSegmentBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.spill = tier
+	}
 	e.ctr = hotCounters{
 		requests:       e.reg.Counter("requests"),
 		bytesDirect:    e.reg.Counter("bytes.direct"),
@@ -605,10 +666,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 		memoMisses:     e.reg.Counter("memo.misses"),
 		memoCoalesced:  e.reg.Counter("memo.coalesced"),
 		encodeRuns:     e.reg.Counter("encode.runs"),
+		faultIns:       e.reg.Counter("store.faultins"),
 	}
 	e.docSeed = maphash.MakeSeed()
 	if cfg.Mode == ModeClassBased {
 		e.classify = classify.NewManager(cfg.Classify)
+		// Recovered spill keys embed grouping-dependent sequence numbers;
+		// import the sidecar SpillAll left behind so the same URLs and
+		// users classify back to the spilled class IDs.
+		if e.spill != nil {
+			e.loadGrouping()
+		}
 	}
 
 	// latencyBuckets spans the pipeline's realistic range: stages run tens
@@ -662,6 +730,7 @@ func (e *Engine) newClassState(key string, class *classify.Class) *classState {
 		id:    key,
 		class: class,
 		acct:  e.acct,
+		spill: e.spill,
 		bases: make(map[int]*baseVersion),
 		ctr: classCounters{
 			requests:     e.famClassRequests.With(key),
@@ -684,6 +753,12 @@ func (e *Engine) newClassState(key string, class *classify.Class) *classState {
 	// budget pass once the selector lock is released.
 	selCfg.AfterAsyncAdmit = func() { e.cstore.Maintain() }
 	cs.selector = basefile.NewSelector(selCfg)
+	// A class created after a restart may have a record waiting in the
+	// recovered spill index; flag it so its first request faults it in.
+	// This is the slow (creation) path: one tier map lookup per class.
+	if e.spill != nil && e.spill.Contains(key) {
+		cs.spilled.Store(true)
+	}
 	if !e.cfg.DeltaCacheOff {
 		// Retained payload bytes flow into the same dual ledger as base and
 		// candidate bytes, so the budget governor sees and reclaims them.
@@ -751,6 +826,16 @@ func (e *Engine) Process(req Request) (Response, error) {
 		return Response{}, err
 	}
 	tr.Record(obs.StageRoute, t0, int64(len(req.Doc)))
+	// Disk-tier fault-in: a spilled class is re-installed from its blob
+	// before the mutation phase, so this very request is served as a
+	// delta instead of a full response. The warm path pays one nil check
+	// and one atomic load here; everything else lives behind the flag.
+	if e.spill != nil && cs.spilled.Load() {
+		t0 = tr.Now()
+		if n := e.faultIn(cs, now); n > 0 {
+			tr.Record(obs.StageFaultIn, t0, n)
+		}
+	}
 	// Accounting happens only after routing succeeds: an unroutable request
 	// produces no response and must not inflate the capacity counters.
 	e.ctr.requests.Inc()

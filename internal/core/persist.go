@@ -145,6 +145,10 @@ func (e *Engine) LoadState(r io.Reader) error {
 		if e.classify == nil {
 			return fmt.Errorf("core: load state: snapshot has grouping state but engine is classless")
 		}
+		// The NDJSON snapshot is authoritative for grouping: discard any
+		// sidecar state the spill tier imported at construction and start
+		// from a fresh manager (no classes exist yet — checked above).
+		e.classify = classify.NewManager(e.cfg.Classify)
 		if err := e.classify.Import(*hdr.Grouping); err != nil {
 			return fmt.Errorf("core: load state: %w", err)
 		}

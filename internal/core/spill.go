@@ -1,0 +1,251 @@
+// Disk-tier integration: spill capture on eviction, singleflight fault-in
+// on the read path, whole-engine spill for shutdown, and tier stats.
+// The tier itself (segments, blob codec, index, disk budget) lives in
+// internal/store; this file owns the ownership rules — when a record may
+// be installed into a class and what happens when it may not.
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cbde/internal/basefile"
+	"cbde/internal/classify"
+	"cbde/internal/store"
+)
+
+// groupingFile is the spill-dir sidecar holding the classify manager's
+// exported grouping state. Class keys embed a creation-order sequence
+// number, so without this sidecar a restarted engine re-mints keys by
+// arrival order and the recovered spill index becomes unreachable in
+// grouped mode. SpillAll (the clean-shutdown path) writes it atomically;
+// after an unclean crash it is stale or absent, grouping re-learns from
+// traffic, and orphaned spill records degrade like plain evictions until
+// compaction reclaims them — the same exposure class as losing the
+// version counter without an NDJSON snapshot.
+const groupingFile = "grouping.json"
+
+// saveGrouping writes the grouping sidecar via write-to-temp + rename so
+// a crash mid-write leaves the previous sidecar intact. No-op for
+// classless engines.
+func (e *Engine) saveGrouping() error {
+	if e.classify == nil || e.cfg.SpillDir == "" {
+		return nil
+	}
+	data, err := json.Marshal(e.classify.Export())
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(e.cfg.SpillDir, groupingFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(e.cfg.SpillDir, groupingFile))
+}
+
+// loadGrouping imports the grouping sidecar into the freshly constructed
+// engine's classify manager. A missing or corrupt sidecar is not an
+// error — the engine boots with empty grouping and re-learns, exactly as
+// if the classes had been plainly evicted. LoadState supersedes this: an
+// NDJSON snapshot carries its own grouping and replaces the manager.
+func (e *Engine) loadGrouping() {
+	if e.classify == nil || e.cfg.SpillDir == "" {
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(e.cfg.SpillDir, groupingFile))
+	if err != nil {
+		return
+	}
+	var ex classify.Exported
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return
+	}
+	_ = e.classify.Import(ex) // only fails on a non-empty manager
+}
+
+// spillRecordLocked captures the class's spillable state: installed base
+// versions, the selector's working base, version counter, and stored
+// samples. Returns nil when there is nothing worth writing (a class that
+// never warmed). Callers hold cs.mu; the returned slices alias immutable
+// buffers, so the record survives the strip that follows.
+func (cs *classState) spillRecordLocked() *store.ClassRecord {
+	st := cs.selector.SpillState()
+	if cs.distVersion == 0 && len(st.Base) == 0 && len(st.Candidates) == 0 {
+		return nil
+	}
+	rec := &store.ClassRecord{
+		Key:             cs.id,
+		DistVersion:     cs.distVersion,
+		SelectorVersion: st.Version,
+		SelectorTag:     st.BaseTag,
+		SelectorBase:    st.Base,
+	}
+	for v, bv := range cs.bases {
+		rec.Bases = append(rec.Bases, store.VersionedBlob{Version: v, Bytes: bv.bytes})
+	}
+	for _, d := range st.Candidates {
+		rec.Candidates = append(rec.Candidates, store.TaggedDoc{Tag: d.Tag, Bytes: d.Bytes})
+	}
+	for _, d := range st.Refs {
+		rec.Refs = append(rec.Refs, store.TaggedDoc{Tag: d.Tag, Bytes: d.Bytes})
+	}
+	return rec
+}
+
+// faultIn restores a spilled class from the disk tier, returning the
+// payload bytes re-charged to the Accountant (0 when nothing was
+// installed). The per-class faultMu makes this a singleflight: a flash
+// crowd on a spilled class performs exactly one disk read + decode — the
+// leader installs while every follower blocks here, then re-checks the
+// flag and proceeds with the class already warm.
+func (e *Engine) faultIn(cs *classState, now time.Time) int64 {
+	cs.faultMu.Lock()
+	defer cs.faultMu.Unlock()
+	if !cs.spilled.Load() {
+		return 0 // the leader already faulted the class in
+	}
+	// Clear the flag only on the way out (after the install below has
+	// published under cs.mu): a follower that observes it set blocks on
+	// faultMu above and re-checks, so no request can slip past an
+	// in-progress install and serve a full response it didn't need to.
+	defer cs.spilled.Store(false)
+	// Take removes the index entry whatever happens next, so a stale blob
+	// can never resurrect a class that moved on in memory: the next
+	// eviction appends a fresh record.
+	rec, ok := cs.spill.Take(cs.id)
+	if !ok {
+		// Dropped by disk-budget compaction or torn/corrupt on disk: the
+		// class degrades exactly like a plain eviction and re-warms from
+		// traffic.
+		return 0
+	}
+
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	base, _ := cs.selector.Base()
+	if cs.distVersion != 0 || len(cs.bases) != 0 || base != nil {
+		// The class warmed by other means first — an NDJSON restore or a
+		// request that slipped in before the eviction's spilled flag was
+		// set. The record's bytes are stale, but its version counter is a
+		// high-water mark that must survive: no version number may ever be
+		// reused for different bytes.
+		cs.selector.RaiseVersion(rec.SelectorVersion)
+		return 0
+	}
+
+	var restored int64
+	for _, b := range rec.Bases {
+		if b.Version <= 0 || len(b.Bytes) == 0 {
+			continue
+		}
+		cs.bases[b.Version] = &baseVersion{bytes: b.Bytes, cs: cs}
+		cs.addBase(int64(len(b.Bytes)))
+		restored += int64(len(b.Bytes))
+	}
+	if bv, ok := cs.bases[rec.DistVersion]; ok {
+		cs.distVersion = rec.DistVersion
+		cs.installedAt = now
+		cs.evicted = false
+		if cs.class != nil {
+			cs.class.SetMatchBase(bv.bytes)
+		}
+	}
+	// Selector samples and base re-charge the ledger through the
+	// selector's OnStoredBytes callback; the version counter merges as a
+	// max so numbering continues monotonically.
+	sst := basefile.SpillState{
+		Base:    rec.SelectorBase,
+		BaseTag: rec.SelectorTag,
+		Version: rec.SelectorVersion,
+	}
+	for _, d := range rec.Candidates {
+		sst.Candidates = append(sst.Candidates, basefile.SpillDoc{Bytes: d.Bytes, Tag: d.Tag})
+		restored += int64(len(d.Bytes))
+	}
+	for _, d := range rec.Refs {
+		sst.Refs = append(sst.Refs, basefile.SpillDoc{Bytes: d.Bytes, Tag: d.Tag})
+		restored += int64(len(d.Bytes))
+	}
+	restored += int64(len(rec.SelectorBase))
+	cs.selector.RestoreSpill(sst, now)
+	// Anonymization state is not spilled: the distributable versions were
+	// anonymized before they were ever distributed, and a selector version
+	// past distVersion restarts its process from live traffic.
+	cs.anonProc = nil
+	cs.anonSource = 0
+	cs.purgeDeltas()
+	cs.faultIns++
+	e.ctr.faultIns.Inc()
+	return restored
+}
+
+// EvictClass forces one class through budget eviction — and, with the
+// disk tier enabled, through a spill. It exists for operational tooling,
+// benchmarks, and tests; budget maintenance normally decides evictions.
+// Returns the bytes freed and whether the class exists.
+func (e *Engine) EvictClass(classID string) (int64, bool) {
+	cs, ok := e.lookup(classID)
+	if !ok {
+		return 0, false
+	}
+	return cs.Evict(), true
+}
+
+// SpillAll writes a spill record for every class that has state worth
+// keeping, without evicting anything — the shutdown path: a subsequent
+// process pointed at the same SpillDir recovers the class index from
+// segment headers alone and faults bodies in lazily, no NDJSON replay
+// needed. Returns the number of classes spilled and the first append
+// error encountered.
+func (e *Engine) SpillAll() (int, error) {
+	if e.spill == nil {
+		return 0, nil
+	}
+	var n int
+	var first error
+	for _, cs := range e.states() {
+		cs.mu.Lock()
+		rec := cs.spillRecordLocked()
+		cs.mu.Unlock()
+		if rec == nil {
+			continue
+		}
+		if err := cs.spill.Append(*rec); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		cs.spilled.Store(true)
+		n++
+	}
+	// Persist grouping alongside the records: recovered spill keys are
+	// only reachable if the next boot classifies URLs to the same
+	// seq-numbered class IDs.
+	if err := e.saveGrouping(); err != nil && first == nil {
+		first = err
+	}
+	return n, first
+}
+
+// SpillStats snapshots the disk tier. The zero value (Enabled false) is
+// returned when the tier is disabled.
+func (e *Engine) SpillStats() store.TierStats {
+	if e.spill == nil {
+		return store.TierStats{}
+	}
+	st := e.spill.Stats()
+	st.FaultIns = e.ctr.faultIns.Value()
+	return st
+}
+
+// Close releases the engine's disk tier, if any. The engine must not
+// process requests afterwards.
+func (e *Engine) Close() error {
+	if e.spill == nil {
+		return nil
+	}
+	return e.spill.Close()
+}

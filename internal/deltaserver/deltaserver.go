@@ -260,9 +260,11 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 
 // serveStore serves the storage-governance snapshot: budget, resident
 // bytes by kind, resident/tracked class counts, the recent prune/evict
-// log, and the delta memo-cache summary. The store.Stats fields stay at
-// the top level (CI's store-smoke job asserts on them); the cache summary
-// rides along under "deltaCache" (CI's memo-smoke job asserts on it).
+// log, the delta memo-cache summary, and the disk tier. The store.Stats
+// fields stay at the top level (CI's store-smoke job asserts on them); the
+// cache summary rides along under "deltaCache" (CI's memo-smoke job) and
+// the disk tier under "disk" (CI's spill-smoke job; Enabled false when the
+// server runs without -spill-dir, so tooling can feature-detect it).
 func (s *Server) serveStore(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
@@ -270,7 +272,8 @@ func (s *Server) serveStore(w http.ResponseWriter) {
 	_ = enc.Encode(struct {
 		store.Stats
 		DeltaCache core.DeltaCacheStats `json:"deltaCache"`
-	}{s.engine.StoreStats(), s.engine.DeltaCacheStats()})
+		Disk       store.TierStats      `json:"disk"`
+	}{s.engine.StoreStats(), s.engine.DeltaCacheStats(), s.engine.SpillStats()})
 }
 
 // serveMetrics serves the engine's registry as Prometheus text exposition —

@@ -52,6 +52,15 @@ type Config struct {
 	// cached-path responses against plain re-fetches — the memoization
 	// correctness mode. 0 (default) rotates every request, as before.
 	RepeatRatio float64
+	// DiurnalCycles, when positive, splits Paths into two halves and
+	// alternates each client between them that many times over its run — a
+	// compressed diurnal traffic pattern. Classes in the idle half go cold
+	// and are evicted (spilled, with the disk tier on) while the active
+	// half is hot, then fault back in when their phase returns; with
+	// Verify every post-fault-in reconstruction is byte-compared against a
+	// plain fetch. 0 (default) keeps the flat rotation. Needs at least two
+	// paths to have any effect.
+	DiurnalCycles int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -160,10 +169,29 @@ func Run(cfg Config) (Result, error) {
 			var docBytes int64
 			errs, mismatches := 0, 0
 			rng := rand.New(rand.NewSource(int64(c) + 1))
-			path := cfg.Paths[c%len(cfg.Paths)]
+			// Diurnal mode rotates within alternating halves of the path
+			// set; half switches happen 2*DiurnalCycles times per run so
+			// each half sees DiurnalCycles active phases.
+			firstHalf, secondHalf := cfg.Paths, cfg.Paths
+			if cfg.DiurnalCycles > 0 && len(cfg.Paths) > 1 {
+				firstHalf = cfg.Paths[:len(cfg.Paths)/2]
+				secondHalf = cfg.Paths[len(cfg.Paths)/2:]
+			}
+			pathAt := func(i int) string {
+				set := cfg.Paths
+				if cfg.DiurnalCycles > 0 && len(cfg.Paths) > 1 {
+					if phase := i * 2 * cfg.DiurnalCycles / cfg.RequestsPerClient; phase%2 == 0 {
+						set = firstHalf
+					} else {
+						set = secondHalf
+					}
+				}
+				return set[(c+i)%len(set)]
+			}
+			path := pathAt(0)
 			for i := 0; i < cfg.RequestsPerClient; i++ {
 				if i > 0 && !(cfg.RepeatRatio > 0 && rng.Float64() < cfg.RepeatRatio) {
-					path = cfg.Paths[(c+i)%len(cfg.Paths)]
+					path = pathAt(i)
 				}
 				t0 := time.Now()
 				doc, _ := cl.Get(path)

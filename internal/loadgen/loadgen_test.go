@@ -202,3 +202,61 @@ func TestConfigValidation(t *testing.T) {
 		t.Errorf("defaults wrong: %+v", cfg)
 	}
 }
+
+// TestRunDiurnalVerifyWithSpill alternates traffic between two halves of
+// the path set against a tightly budgeted, spill-enabled delta-server: the
+// idle half's classes evict to disk, then fault back in when their phase
+// returns — every reconstruction byte-compared against a plain re-fetch.
+// This is the in-process twin of CI's spill-smoke job.
+func TestRunDiurnalVerifyWithSpill(t *testing.T) {
+	site := origin.NewSite(origin.Config{
+		Host:          "www.load.com",
+		Depts:         []origin.Dept{{Name: "catalog", Items: 3}, {Name: "outlet", Items: 3}},
+		TemplateBytes: 6000,
+		ItemBytes:     500,
+		ChurnBytes:    200,
+		Seed:          46,
+	})
+	originSrv := httptest.NewServer(site.Handler())
+	t.Cleanup(originSrv.Close)
+	eng, err := core.NewEngine(core.Config{
+		MemBudget:            8 << 10,
+		SpillDir:             t.TempDir(),
+		DisableAnonymization: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	srv, err := deltaserver.New(originSrv.URL, eng, deltaserver.WithPublicHost("www.load.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv)
+	t.Cleanup(front.Close)
+
+	res, err := Run(Config{
+		ServerURL:         front.URL,
+		Paths:             []string{"/catalog/0", "/catalog/1", "/catalog/2", "/outlet/0", "/outlet/1", "/outlet/2"},
+		Clients:           4,
+		RequestsPerClient: 40,
+		DiurnalCycles:     3,
+		Verify:            true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("errors = %d", res.Errors)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("mismatches = %d: spill/fault-in churn corrupted served documents", res.Mismatches)
+	}
+	ts := eng.SpillStats()
+	if ts.Spills == 0 || ts.FaultIns == 0 {
+		t.Errorf("diurnal churn never hit the disk tier: %+v", ts)
+	}
+	if st := eng.StoreStats(); st.Resident.Total > 8<<10 {
+		t.Errorf("resident bytes %d exceed budget after run", st.Resident.Total)
+	}
+}

@@ -162,7 +162,11 @@ func (r *Registry) Expose(w io.Writer) error {
 		fmt.Fprintf(ew, "# TYPE %s gauge\n%s %d\n", n, n, r.Gauge(name).Value())
 	}
 	for _, name := range histograms {
-		writeHistogram(ew, SanitizeName(name), "", nil, nil, r.Histogram(name))
+		n := SanitizeName(name)
+		h := r.Histogram(name)
+		writeHistogram(ew, n, "", nil, nil, h)
+		writeHeader(ew, n+"_quantile", "", "gauge")
+		writeHistogramQuantiles(ew, n, nil, nil, h)
 	}
 
 	for _, name := range counterFams {
@@ -187,6 +191,14 @@ func (r *Registry) Expose(w io.Writer) error {
 		writeHeader(ew, n, f.help, "histogram")
 		f.each(func(values []string, h *Histogram) {
 			writeHistogramSamples(ew, n, f.labelNames, values, h)
+		})
+		// The quantile companion is its own gauge-typed family (a
+		// histogram family's TYPE cannot also cover summary-style
+		// quantile samples), emitted in a second pass so its children
+		// stay contiguous under one header.
+		writeHeader(ew, n+"_quantile", "", "gauge")
+		f.each(func(values []string, h *Histogram) {
+			writeHistogramQuantiles(ew, n, f.labelNames, values, h)
 		})
 	}
 
@@ -230,6 +242,22 @@ func writeHistogramSamples(w io.Writer, name string, labelNames, labelValues []s
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(labelNames, labelValues, inf), cum)
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(labelNames, labelValues), formatValue(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(labelNames, labelValues), h.Count())
+}
+
+// exposedQuantiles are the quantile estimates published alongside every
+// histogram as a companion gauge family <name>_quantile, in the summary
+// convention's label form: {quantile="0.5"|"0.9"|"0.99"}.
+var exposedQuantiles = []float64{0.5, 0.9, 0.99}
+
+// writeHistogramQuantiles emits one histogram child's reservoir-estimated
+// quantiles as <name>_quantile samples. All estimates share one reservoir
+// copy and sort.
+func writeHistogramQuantiles(w io.Writer, name string, labelNames, labelValues []string, h *Histogram) {
+	vals := h.Quantiles(exposedQuantiles...)
+	for i, q := range exposedQuantiles {
+		ql := Label{Name: "quantile", Value: formatValue(q)}
+		fmt.Fprintf(w, "%s_quantile%s %s\n", name, formatLabels(labelNames, labelValues, ql), formatValue(vals[i]))
+	}
 }
 
 // writeCollected groups collector samples by metric name so each family gets

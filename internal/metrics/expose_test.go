@@ -167,15 +167,15 @@ func TestExposeParsesRoundTrip(t *testing.T) {
 
 func TestParseExpositionRejectsGarbage(t *testing.T) {
 	bad := []string{
-		"",                                  // no samples
-		"not a metric line",                 // no value
-		"9bad_name 1",                       // name starts with digit
-		`m{l="unterminated} 1`,              // unterminated quote
-		`m{l="v"} notafloat`,                // bad value
-		"# TYPE m sometype\nm 1",            // unknown type
+		"",                                      // no samples
+		"not a metric line",                     // no value
+		"9bad_name 1",                           // name starts with digit
+		`m{l="unterminated} 1`,                  // unterminated quote
+		`m{l="v"} notafloat`,                    // bad value
+		"# TYPE m sometype\nm 1",                // unknown type
 		"# TYPE m counter\n# TYPE m gauge\nm 1", // conflicting types
-		`m{9bad="v"} 1`,                     // bad label name
-		`m{l="v"\} 1`,                       // bad escape position
+		`m{9bad="v"} 1`,                         // bad label name
+		`m{l="v"\} 1`,                           // bad escape position
 	}
 	for _, doc := range bad {
 		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
@@ -192,5 +192,79 @@ func TestParseExpositionRejectsGarbage(t *testing.T) {
 	}
 	if !math.IsInf(exp.Samples[1].Value, 1) {
 		t.Errorf("m2 value = %v, want +Inf", exp.Samples[1].Value)
+	}
+}
+
+func TestExposeHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", 0.01, 0.1, 1)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	fam := r.HistogramFamily("stage_seconds", "stages", []string{"stage"}, 0.001)
+	fam.With("gzip").Observe(0.5)
+	r.Histogram("empty", 1) // no observations: quantiles expose as 0
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_quantile gauge\n",
+		`latency_quantile{quantile="0.5"} `,
+		`latency_quantile{quantile="0.9"} `,
+		`latency_quantile{quantile="0.99"} `,
+		"# TYPE stage_seconds_quantile gauge\n",
+		`stage_seconds_quantile{stage="gzip",quantile="0.5"} 0.5`,
+		`empty_quantile{quantile="0.99"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	exp, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition with quantiles does not parse: %v\n%s", err, out)
+	}
+	if exp.Types["latency_quantile"] != "gauge" {
+		t.Errorf("latency_quantile TYPE = %q, want gauge", exp.Types["latency_quantile"])
+	}
+	// The estimates themselves must order sensibly over a uniform stream.
+	var p50, p99 float64
+	for _, s := range exp.Samples {
+		if s.Name != "latency_quantile" {
+			continue
+		}
+		switch v, _ := s.Label("quantile"); v {
+		case "0.5":
+			p50 = s.Value
+		case "0.99":
+			p99 = s.Value
+		}
+	}
+	if !(p50 > 0.4 && p50 < 0.6 && p99 > 0.9 && p99 <= 1.0) {
+		t.Errorf("uniform-stream quantiles implausible: p50=%v p99=%v", p50, p99)
+	}
+}
+
+func TestHistogramQuantilesSharedSort(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 1; i <= 99; i++ {
+		h.Observe(float64(i))
+	}
+	got := h.Quantiles(0, 0.5, 1)
+	want := []float64{1, 50, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if v := h.Quantile(0.5); v != 50 {
+		t.Errorf("Quantile(0.5) = %v, want 50", v)
+	}
+	var empty Histogram
+	if got := empty.Quantiles(0.5, 0.99); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty histogram quantiles = %v, want zeros", got)
 	}
 }

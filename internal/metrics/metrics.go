@@ -164,15 +164,34 @@ func (h *Histogram) Max() float64 {
 // sort and the interpolation run outside it, so hot-path Observe calls never
 // stall behind a stats scrape.
 func (h *Histogram) Quantile(q float64) float64 {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles returns estimates for every requested quantile at once,
+// sharing a single reservoir copy and sort across all of them — the
+// exposition path asks for p50/p90/p99 together, and three Quantile calls
+// would sort the reservoir three times. Returns all zeros if there are no
+// observations.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
 	h.mu.Lock()
 	if len(h.samples) == 0 {
 		h.mu.Unlock()
-		return 0
+		return out
 	}
 	s := make([]float64, len(h.samples))
 	copy(s, h.samples)
 	h.mu.Unlock()
 	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// quantileSorted interpolates the q-th quantile from an ascending-sorted,
+// non-empty sample slice.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}
@@ -205,10 +224,10 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 // Lookups of existing metrics (the overwhelmingly common case on a serving
 // hot path) take only a read lock; creation re-checks under the write lock.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
 	counterFams map[string]*CounterFamily
 	gaugeFams   map[string]*GaugeFamily
 	histFams    map[string]*HistogramFamily
@@ -295,8 +314,9 @@ func (r *Registry) Snapshot() string {
 		lines = append(lines, fmt.Sprintf("gauge %s %d", name, g.Value()))
 	}
 	for name, h := range r.histograms {
+		qs := h.Quantiles(0.5, 0.99)
 		lines = append(lines, fmt.Sprintf("histogram %s count=%d mean=%.3f min=%.3f max=%.3f p50=%.3f p99=%.3f",
-			name, h.Count(), h.Mean(), h.Min(), h.Max(), h.Quantile(0.5), h.Quantile(0.99)))
+			name, h.Count(), h.Mean(), h.Min(), h.Max(), qs[0], qs[1]))
 	}
 	for name, f := range r.counterFams {
 		f.each(func(values []string, c *Counter) {
@@ -310,8 +330,9 @@ func (r *Registry) Snapshot() string {
 	}
 	for name, f := range r.histFams {
 		f.each(func(values []string, h *Histogram) {
+			qs := h.Quantiles(0.5, 0.99)
 			lines = append(lines, fmt.Sprintf("histogram %s%s count=%d mean=%.3f p50=%.3f p99=%.3f",
-				name, formatLabels(f.labelNames, values), h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99)))
+				name, formatLabels(f.labelNames, values), h.Count(), h.Mean(), qs[0], qs[1]))
 		})
 	}
 	sort.Strings(lines)

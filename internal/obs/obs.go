@@ -52,12 +52,16 @@ const (
 	// non-owning node spends proxying the request to the class owner.
 	// Zero for standalone servers and owner-served requests.
 	StageForward
+	// StageFaultIn is the disk tier's fault-in: reading, verifying, and
+	// decoding a spilled class's blob and re-installing it so the request
+	// can be served as a delta instead of a full response.
+	StageFaultIn
 
 	// NumStages is the number of stages; valid stages are < NumStages.
 	NumStages
 )
 
-var stageNames = [NumStages]string{"route", "select", "anon", "memo", "encode", "gzip", "evict", "forward"}
+var stageNames = [NumStages]string{"route", "select", "anon", "memo", "encode", "gzip", "evict", "forward", "faultin"}
 
 // String implements fmt.Stringer.
 func (s Stage) String() string {
@@ -70,7 +74,7 @@ func (s Stage) String() string {
 // Stages lists every stage in pipeline order, for callers that pre-resolve
 // per-stage metrics.
 func Stages() [NumStages]Stage {
-	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageMemo, StageEncode, StageGzip, StageEvict, StageForward}
+	return [NumStages]Stage{StageRoute, StageSelect, StageAnon, StageMemo, StageEncode, StageGzip, StageEvict, StageForward, StageFaultIn}
 }
 
 // Span is the accumulated cost of one stage within one trace.

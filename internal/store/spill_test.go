@@ -1,0 +1,316 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testRecord(key string, ver int) ClassRecord {
+	base := bytes.Repeat([]byte("base-"+key+" "), 40)
+	return ClassRecord{
+		Key:             key,
+		DistVersion:     ver,
+		SelectorVersion: ver,
+		SelectorTag:     "tag-" + key,
+		SelectorBase:    base,
+		Bases: []VersionedBlob{
+			{Version: ver - 1, Bytes: bytes.Repeat([]byte("old "), 30)},
+			{Version: ver, Bytes: base},
+		},
+		Candidates: []TaggedDoc{{Tag: "c1", Bytes: []byte("candidate one body")}},
+		Refs:       []TaggedDoc{{Tag: "r1", Bytes: bytes.Repeat([]byte("ref "), 25)}},
+	}
+}
+
+func recordsEqual(t *testing.T, got, want ClassRecord) {
+	t.Helper()
+	if got.Key != want.Key || got.DistVersion != want.DistVersion ||
+		got.SelectorVersion != want.SelectorVersion || got.SelectorTag != want.SelectorTag {
+		t.Fatalf("header mismatch: got %+v want %+v", got, want)
+	}
+	if !bytes.Equal(got.SelectorBase, want.SelectorBase) {
+		t.Fatalf("selector base mismatch")
+	}
+	if len(got.Bases) != len(want.Bases) {
+		t.Fatalf("got %d bases, want %d", len(got.Bases), len(want.Bases))
+	}
+	for i := range want.Bases {
+		if got.Bases[i].Version != want.Bases[i].Version || !bytes.Equal(got.Bases[i].Bytes, want.Bases[i].Bytes) {
+			t.Fatalf("base %d mismatch", i)
+		}
+	}
+	for name, pair := range map[string][2][]TaggedDoc{
+		"candidates": {got.Candidates, want.Candidates},
+		"refs":       {got.Refs, want.Refs},
+	} {
+		g, w := pair[0], pair[1]
+		if len(g) != len(w) {
+			t.Fatalf("%s: got %d docs, want %d", name, len(g), len(w))
+		}
+		for i := range w {
+			if g[i].Tag != w[i].Tag || !bytes.Equal(g[i].Bytes, w[i].Bytes) {
+				t.Fatalf("%s %d mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	want := testRecord("www.shop.com/laptops#1", 7)
+	// Include an incompressible body so both raw and gzip paths execute.
+	junk := make([]byte, 300)
+	x := uint64(42)
+	for i := range junk {
+		x = x*2862933555777941757 + 3037000493
+		junk[i] = byte(x >> 56)
+	}
+	want.Candidates = append(want.Candidates, TaggedDoc{Tag: "rand", Bytes: junk})
+
+	payload, err := appendRecordPayload(nil, &want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeRecordPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, got, want)
+	if want.MemoryBytes() != got.MemoryBytes() {
+		t.Fatalf("memory bytes changed across round trip: %d != %d", want.MemoryBytes(), got.MemoryBytes())
+	}
+}
+
+func TestBlobRejectsBadRecords(t *testing.T) {
+	if _, err := appendRecordPayload(nil, &ClassRecord{}); err == nil {
+		t.Fatal("expected error for record without key")
+	}
+	dup := ClassRecord{Key: "k", Bases: []VersionedBlob{{Version: 3}, {Version: 3}}}
+	if _, err := appendRecordPayload(nil, &dup); err == nil {
+		t.Fatal("expected error for duplicate base versions")
+	}
+	// Truncations of a valid payload must error, never panic.
+	payload, err := appendRecordPayload(nil, &ClassRecord{Key: "k", SelectorVersion: 2, SelectorBase: []byte("hello world")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeRecordPayload(payload[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded without error", n)
+		}
+	}
+}
+
+func openTestTier(t *testing.T, dir string, cfg TierConfig) *Tier {
+	t.Helper()
+	cfg.Dir = dir
+	tier, err := OpenTier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tier.Close() })
+	return tier
+}
+
+func TestTierAppendTakeRecover(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTestTier(t, dir, TierConfig{})
+	recs := make([]ClassRecord, 5)
+	for i := range recs {
+		recs[i] = testRecord(fmt.Sprintf("class#%d", i), i+2)
+		if err := tier.Append(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := tier.Take("class#3"); !ok {
+		t.Fatal("Take(class#3) missed")
+	} else {
+		recordsEqual(t, got, recs[3])
+	}
+	if _, ok := tier.Take("class#3"); ok {
+		t.Fatal("second Take of the same key must miss: the index entry is consumed")
+	}
+	tier.Close()
+
+	// Reopen: the index is rebuilt from segment headers alone.
+	tier2 := openTestTier(t, dir, TierConfig{})
+	if tier2.Len() != 5 {
+		t.Fatalf("recovered %d classes, want 5 (taken entries reappear until overwritten)", tier2.Len())
+	}
+	got, ok := tier2.Take("class#1")
+	if !ok {
+		t.Fatal("recovered tier missed class#1")
+	}
+	recordsEqual(t, got, recs[1])
+	st := tier2.Stats()
+	if !st.Enabled || st.Segments == 0 || st.DiskBytes == 0 {
+		t.Fatalf("implausible recovered stats: %+v", st)
+	}
+}
+
+func TestTierLatestRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTestTier(t, dir, TierConfig{})
+	old := testRecord("class#1", 2)
+	newer := testRecord("class#1", 9)
+	if err := tier.Append(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Append(newer); err != nil {
+		t.Fatal(err)
+	}
+	if tier.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tier.Len())
+	}
+	got, ok := tier.Take("class#1")
+	if !ok {
+		t.Fatal("Take missed")
+	}
+	recordsEqual(t, got, newer)
+	tier.Close()
+
+	tier2 := openTestTier(t, dir, TierConfig{})
+	got, ok = tier2.Take("class#1")
+	if !ok {
+		t.Fatal("recovered Take missed")
+	}
+	recordsEqual(t, got, newer)
+}
+
+// segmentFiles returns the tier's on-disk segment paths, oldest first.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "spill-") && strings.HasSuffix(e.Name(), ".seg") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out
+}
+
+func TestTierTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTestTier(t, dir, TierConfig{})
+	a, b := testRecord("class#a", 3), testRecord("class#b", 4)
+	if err := tier.Append(a); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfterA := tier.Stats().DiskBytes
+	if err := tier.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	tier.Close()
+
+	// Simulate a crash mid-spill: chop bytes off the second record.
+	files := segmentFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 segment, found %v", files)
+	}
+	fi, err := os.Stat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(files[0], fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	tier2 := openTestTier(t, dir, TierConfig{})
+	if tier2.Contains("class#b") {
+		t.Fatal("torn record survived recovery")
+	}
+	got, ok := tier2.Take("class#a")
+	if !ok {
+		t.Fatal("intact record before the tear must survive")
+	}
+	recordsEqual(t, got, a)
+	if st := tier2.Stats(); st.DiskBytes != sizeAfterA {
+		t.Fatalf("logical size = %d, want %d (scan must stop at the tear)", st.DiskBytes, sizeAfterA)
+	}
+
+	// New appends after recovery go to a fresh segment, never after garbage.
+	if err := tier2.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if files = segmentFiles(t, dir); len(files) != 2 {
+		t.Fatalf("append after torn recovery reused the torn segment: %v", files)
+	}
+	if got, ok := tier2.Take("class#b"); !ok {
+		t.Fatal("re-spilled record missed")
+	} else {
+		recordsEqual(t, got, b)
+	}
+}
+
+func TestTierCorruptRecordDegrades(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTestTier(t, dir, TierConfig{})
+	if err := tier.Append(testRecord("class#x", 5)); err != nil {
+		t.Fatal(err)
+	}
+	tier.Close()
+
+	// Flip a byte inside the payload: framing is intact, CRC is not.
+	files := segmentFiles(t, dir)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xFF
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tier2 := openTestTier(t, dir, TierConfig{})
+	if !tier2.Contains("class#x") {
+		t.Fatal("header scan should still index the record (CRC is checked lazily)")
+	}
+	if _, ok := tier2.Take("class#x"); ok {
+		t.Fatal("corrupt record must fail Take")
+	}
+	if st := tier2.Stats(); st.Errors == 0 {
+		t.Fatal("corruption must be counted")
+	}
+	if tier2.Contains("class#x") {
+		t.Fatal("corrupt record must be removed from the index")
+	}
+}
+
+func TestTierDiskBudgetCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation every append; a small budget forces
+	// oldest-first deletion.
+	tier := openTestTier(t, dir, TierConfig{SegmentBytes: 1, MaxBytes: 4096})
+	var recSize int64
+	for i := 0; i < 40; i++ {
+		if err := tier.Append(testRecord(fmt.Sprintf("class#%d", i), i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if recSize == 0 {
+			recSize = tier.Stats().DiskBytes
+		}
+	}
+	st := tier.Stats()
+	if st.DiskBytes > 4096+recSize {
+		t.Fatalf("disk bytes %d exceed budget %d by more than one record (%d)", st.DiskBytes, 4096, recSize)
+	}
+	if st.Drops == 0 {
+		t.Fatal("compaction must count dropped classes")
+	}
+	if tier.Contains("class#0") {
+		t.Fatal("oldest class must have been dropped")
+	}
+	if !tier.Contains("class#39") {
+		t.Fatal("newest class must survive compaction")
+	}
+	if st.SpilledClasses+int(st.Drops) != 40 {
+		t.Fatalf("index (%d) + drops (%d) != 40 appends", st.SpilledClasses, st.Drops)
+	}
+}
