@@ -9,6 +9,7 @@
 //	cbdestat -server http://localhost:8080 -store     # raw storage-governance JSON
 //	cbdestat -server http://localhost:8080 -metrics   # raw exposition dump
 //	cbdestat -server http://localhost:8080 -check     # validate exposition (CI)
+//	cbdestat -trace -peers url1,url2,...              # join flight-recorder traces across a tier
 //
 // -check fetches /_cbde/metrics, parses it as Prometheus text format, and
 // exits non-zero if it does not parse or lacks the core CBDE series; CI's
@@ -52,6 +53,7 @@ var coreSeries = []string{
 	"cbde_stage_duration_seconds_count",
 	"cbde_process_duration_seconds_bucket",
 	"cbde_process_duration_seconds_quantile",
+	"cbde_build_info",
 	"requests",
 	"bytes_direct",
 }
@@ -65,12 +67,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("cbdestat", flag.ContinueOnError)
 	var (
-		server   = fs.String("server", "http://localhost:8080", "delta-server base URL")
-		class    = fs.String("class", "", "dump one class's stats as JSON")
-		rawStore = fs.Bool("store", false, "dump the raw storage-governance snapshot as JSON")
-		rawMet   = fs.Bool("metrics", false, "dump the raw Prometheus exposition")
-		check    = fs.Bool("check", false, "validate the exposition and core series; exit non-zero on failure")
-		timeout  = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
+		server    = fs.String("server", "http://localhost:8080", "delta-server base URL")
+		class     = fs.String("class", "", "dump one class's stats as JSON (or filter -trace output)")
+		rawStore  = fs.Bool("store", false, "dump the raw storage-governance snapshot as JSON")
+		rawMet    = fs.Bool("metrics", false, "dump the raw Prometheus exposition")
+		check     = fs.Bool("check", false, "validate the exposition and core series; exit non-zero on failure")
+		traceMode = fs.Bool("trace", false, "fetch /_cbde/trace from every -peers node (or -server), join traces by ID, and print per-hop breakdowns")
+		peers     = fs.String("peers", "", "trace mode: comma-separated node URLs or id=url pairs to join across (default: -server alone)")
+		minMS     = fs.Float64("min-ms", 0, "trace mode: only traces at least this slow (server-side total, any hop)")
+		outcome   = fs.String("outcome", "", "trace mode: only records with this outcome (delta|full|forwarded|...)")
+		limit     = fs.Int("limit", 20, "trace mode: print at most this many traces, newest first (0 = all)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "HTTP timeout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +85,10 @@ func run(args []string, out io.Writer) error {
 	client := &http.Client{Timeout: *timeout}
 
 	switch {
+	case *traceMode:
+		return traceJoin(client, *server, *peers, traceFilter{
+			class: *class, minMS: *minMS, outcome: *outcome, limit: *limit,
+		}, out)
 	case *check:
 		return checkMetrics(client, *server, out)
 	case *rawMet:

@@ -33,6 +33,7 @@ import (
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
 	"cbde/internal/deltaserver"
+	"cbde/internal/flightrec"
 )
 
 func main() {
@@ -79,9 +80,11 @@ func run(args []string) error {
 		probeFail       = fs.Int("probe-fail", 3, "cluster: consecutive probe failures that mark a peer dead")
 		probeRise       = fs.Int("probe-rise", 2, "cluster: consecutive probe successes that revive a dead peer")
 
-		trace       = fs.Bool("trace", false, "record per-stage pipeline spans (feeds cbde_stage_duration_seconds)")
-		logRequests = fs.Bool("log-requests", false, "emit a structured log line per document request")
-		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		trace         = fs.Bool("trace", false, "record per-stage pipeline spans (feeds cbde_stage_duration_seconds)")
+		traceSampleMS = fs.Int("trace-sample-ms", 50, "flight recorder: tail-sample full span detail for requests at or over this many milliseconds (0 = sample everything)")
+		traceRing     = fs.Int("trace-ring", 4096, "flight recorder: ring size in records, rounded up to a power of two (0 = disable the recorder and /_cbde/trace)")
+		logRequests   = fs.Bool("log-requests", false, "emit a structured log line per document request")
+		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -186,6 +189,20 @@ func run(args []string) error {
 	if *logRequests {
 		opts = append(opts, deltaserver.WithRequestLog(
 			slog.New(slog.NewTextHandler(os.Stderr, nil))))
+	}
+	// Trace contexts and flight-recorder entries name the node even when the
+	// server runs standalone.
+	self := *nodeID
+	if self == "" {
+		self = "local"
+	}
+	opts = append(opts, deltaserver.WithNodeID(self))
+	if *traceRing > 0 {
+		rec := flightrec.New(self, *traceRing, time.Duration(*traceSampleMS)*time.Millisecond)
+		rec.RegisterMetrics(eng.Metrics())
+		opts = append(opts, deltaserver.WithFlightRecorder(rec))
+		log.Printf("deltaserver: flight recorder: %d-record ring, tail-sampling >= %dms (traces at %s)",
+			rec.Len(), *traceSampleMS, deltahttp.TracePath)
 	}
 	if clus != nil {
 		clus.RegisterMetrics(eng.Metrics())

@@ -213,6 +213,12 @@ type Request struct {
 	HaveClassID string
 	HaveVersion int
 
+	// TraceCtx is the distributed trace context the request arrived with
+	// (or that the serving node minted). The zero value is fine; when set
+	// and tracing is enabled, the finished Summary carries it and the
+	// process-duration histogram records the trace ID as an exemplar.
+	TraceCtx obs.TraceContext
+
 	// Format selects the delta wire format (zero value: FormatVdelta).
 	// Clients that implement RFC 3284 request FormatVCDIFF.
 	Format Format
@@ -817,7 +823,7 @@ func (e *Engine) Process(req Request) (Response, error) {
 	// tr is nil when tracing is disabled; every tr method below is then a
 	// no-op, so the untraced hot path pays one atomic load and no clock
 	// reads or allocations.
-	tr := e.tracer.Start()
+	tr := e.tracer.StartCtx(req.TraceCtx)
 
 	t0 := tr.Now()
 	cs, err := e.route(req)
@@ -901,7 +907,14 @@ func (e *Engine) Process(req Request) (Response, error) {
 // histograms. Stages with no recorded cost are skipped, so e.g. the encode
 // series reflects only requests that actually attempted a delta.
 func (e *Engine) observeTrace(sum *obs.Summary) {
-	e.procHist.Observe(sum.Total.Seconds())
+	// Requests that carried a distributed trace ID leave it as an exemplar
+	// on the bucket their duration landed in, so an exposition p99 spike
+	// links straight to a retrievable flight-recorder trace.
+	if id := sum.Ctx.ID; !id.IsZero() {
+		e.procHist.ObserveExemplar(sum.Total.Seconds(), id.Hi, id.Lo, e.cfg.Now().Unix())
+	} else {
+		e.procHist.Observe(sum.Total.Seconds())
+	}
 	for _, st := range obs.Stages() {
 		if sp := sum.Stages[st]; sp.Dur > 0 || sp.Bytes > 0 {
 			e.stageHist[st].Observe(sp.Dur.Seconds())

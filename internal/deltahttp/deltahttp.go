@@ -57,6 +57,13 @@ const (
 	// every request to at most one intra-tier hop even when peers briefly
 	// disagree about membership.
 	HeaderForwarded = "X-CBDE-Forwarded"
+	// HeaderTrace carries the distributed trace context —
+	// "<32-hex trace ID>;o=<origin node>;h=<hop>" — minted by the first
+	// node a request reaches and propagated through forwards, redirects,
+	// and peer base fetches so every node's flight-recorder entries for one
+	// request join on the same trace ID. Also echoed on document responses
+	// so clients (and cbdestat) learn the ID to look up.
+	HeaderTrace = "X-CBDE-Trace"
 )
 
 // HeaderEncoding values.
@@ -104,6 +111,11 @@ const (
 	// liveness, owned-class share, and forward/redirect counters. 404 when
 	// the server runs standalone.
 	ClusterPath = "/_cbde/cluster"
+	// TracePath serves the node's flight-recorder ring as NDJSON, newest
+	// first: one compact record per recent request, with full per-stage
+	// span detail on tail-sampled outliers. Filterable with ?class=,
+	// ?min-ms=, ?outcome=, ?trace=. 404 when the recorder is disabled.
+	TracePath = "/_cbde/trace"
 )
 
 // Held is one (class, version) pair a client advertises.

@@ -15,16 +15,20 @@ import (
 	"cbde/internal/cluster"
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
+	"cbde/internal/flightrec"
 	"cbde/internal/origin"
 )
 
 // clusterStack is an n-node delta-server tier over one origin, every node
-// running its own engine with strided version numbering.
+// running its own engine with strided version numbering. Every node gets a
+// flight recorder (threshold 0 = sample everything) so trace tests can read
+// back what each hop saw.
 type clusterStack struct {
 	site     *origin.Site
 	servers  []*Server
 	fronts   []*httptest.Server
 	clusters []*cluster.Cluster
+	flights  []*flightrec.Recorder
 }
 
 func newClusterStack(t *testing.T, n int, redirect bool) *clusterStack {
@@ -66,13 +70,17 @@ func newClusterStack(t *testing.T, n int, redirect bool) *clusterStack {
 		if err != nil {
 			t.Fatal(err)
 		}
+		eng.SetTracing(true)
+		fr := flightrec.New(peers[i].ID, 64, 0)
 		srv, err := New(originSrv.URL, eng,
-			WithPublicHost("www.shop.com"), WithCluster(cl))
+			WithPublicHost("www.shop.com"), WithCluster(cl),
+			WithNodeID(peers[i].ID), WithFlightRecorder(fr))
 		if err != nil {
 			t.Fatal(err)
 		}
 		st.servers[i] = srv
 		st.clusters = append(st.clusters, cl)
+		st.flights = append(st.flights, fr)
 	}
 	return st
 }

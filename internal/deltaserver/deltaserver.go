@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -25,10 +26,16 @@ import (
 	"cbde/internal/cluster"
 	"cbde/internal/core"
 	"cbde/internal/deltahttp"
+	"cbde/internal/flightrec"
 	"cbde/internal/metrics"
 	"cbde/internal/obs"
 	"cbde/internal/store"
 )
+
+// Version identifies the build in cbde_build_info and /_cbde/health;
+// overridable at link time with
+// -ldflags "-X cbde/internal/deltaserver.Version=v1.2.3".
+var Version = "dev"
 
 // Option configures a Server.
 type Option func(*Server)
@@ -77,6 +84,24 @@ func WithRequestLog(l *slog.Logger) Option {
 	return func(s *Server) { s.log = l }
 }
 
+// WithNodeID names this node in trace contexts, flight-recorder records,
+// the health endpoint, and cbde_build_info. Defaults to "local"; clustered
+// servers should pass their cluster node ID.
+func WithNodeID(id string) Option {
+	return func(s *Server) {
+		if id != "" {
+			s.nodeID = id
+		}
+	}
+}
+
+// WithFlightRecorder attaches a flight recorder: every document request is
+// recorded (compactly; with span detail when tail-sampled) and the ring is
+// served at /_cbde/trace. Without one the endpoint 404s.
+func WithFlightRecorder(fr *flightrec.Recorder) Option {
+	return func(s *Server) { s.flight = fr }
+}
+
 // Server is the delta-server: an http.Handler fronting one origin.
 type Server struct {
 	origin        *url.URL
@@ -89,6 +114,9 @@ type Server struct {
 	log           *slog.Logger
 	reqSeq        atomic.Uint64
 	cluster       *cluster.Cluster
+	nodeID        string
+	flight        *flightrec.Recorder
+	started       time.Time
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -107,10 +135,21 @@ func New(originURL string, engine *core.Engine, opts ...Option) (*Server, error)
 		engine:     engine,
 		client:     &http.Client{Timeout: 30 * time.Second},
 		baseMaxAge: time.Hour,
+		nodeID:     "local",
+		started:    time.Now(),
 	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.engine.Metrics().RegisterCollector(func(c *metrics.Collection) {
+		c.Gauge("cbde_build_info",
+			"Build and runtime identity; the value is always 1.",
+			[]metrics.Label{
+				{Name: "version", Value: Version},
+				{Name: "goversion", Value: runtime.Version()},
+				{Name: "node", Value: s.nodeID},
+			}, 1)
+	})
 	return s, nil
 }
 
@@ -132,6 +171,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.serveHealth(w)
 	case r.URL.Path == deltahttp.ClusterPath:
 		s.serveCluster(w)
+	case r.URL.Path == deltahttp.TracePath:
+		s.serveTrace(w, r)
 	case r.Method != http.MethodGet:
 		// Only GET responses are delta-encoded; everything else passes
 		// through untouched (transparency).
@@ -208,6 +249,10 @@ func (s *Server) proxyBase(w http.ResponseWriter, r *http.Request, owner cluster
 		return false
 	}
 	req.Header.Set(deltahttp.HeaderForwarded, s.cluster.Self().ID)
+	// A base fetch riding a traced request keeps its trace across the hop.
+	if ctx, ok := obs.ParseTraceContext(r.Header.Get(deltahttp.HeaderTrace)); ok {
+		req.Header.Set(deltahttp.HeaderTrace, ctx.Next().HeaderValue())
+	}
 	resp, err := s.client.Do(req)
 	if err != nil {
 		return false
@@ -284,10 +329,75 @@ func (s *Server) serveMetrics(w http.ResponseWriter) {
 }
 
 // serveHealth answers the cluster prober (and any external checker): a 200
-// means the server is taking traffic.
+// means the server is taking traffic. The body identifies the node and its
+// uptime so cbdestat trace can label hops; the prober only checks the
+// status code, so the JSON body is free to evolve.
 func (s *Server) serveHealth(w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = io.WriteString(w, "ok\n")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(Health{
+		Status:        "ok",
+		Node:          s.nodeID,
+		Version:       Version,
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+	})
+}
+
+// Health is the /_cbde/health response body.
+type Health struct {
+	Status        string `json:"status"`
+	Node          string `json:"node"`
+	Version       string `json:"version"`
+	UptimeSeconds int64  `json:"uptimeSeconds"`
+}
+
+// serveTrace serves the flight-recorder ring as NDJSON, newest first,
+// filtered by the query parameters: ?class=<id>, ?min-ms=<float>,
+// ?outcome=<name>, ?trace=<32-hex id>, ?sampled=1, ?limit=<n>. 404 when no
+// recorder is attached, so tooling can feature-detect it.
+func (s *Server) serveTrace(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	f := flightrec.Filter{Class: q.Get("class")}
+	if v := q.Get("min-ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			http.Error(w, fmt.Sprintf("bad min-ms %q", v), http.StatusBadRequest)
+			return
+		}
+		f.Min = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("outcome"); v != "" {
+		o, ok := flightrec.ParseOutcome(v)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown outcome %q", v), http.StatusBadRequest)
+			return
+		}
+		f.Outcome = o
+	}
+	if v := q.Get("trace"); v != "" {
+		id, ok := obs.ParseTraceID(v)
+		if !ok {
+			http.Error(w, fmt.Sprintf("bad trace ID %q", v), http.StatusBadRequest)
+			return
+		}
+		f.Trace = id
+	}
+	if q.Get("sampled") == "1" {
+		f.SampledOnly = true
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad limit %q", v), http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_, _ = s.flight.WriteNDJSON(w, f)
 }
 
 // serveCluster serves this node's cluster view as JSON: membership with
@@ -304,16 +414,66 @@ func (s *Server) serveCluster(w http.ResponseWriter) {
 	_ = enc.Encode(s.cluster.Status())
 }
 
-// reqRecord accumulates what one document request's log line reports.
+// reqRecord accumulates what one document request's log line and
+// flight-recorder entry report.
 type reqRecord struct {
-	id      uint64
-	start   time.Time
-	outcome string // delta | full | passthrough | origin-error | engine-error
-	class   string
-	user    string
-	docLen  int
-	wire    int // payload bytes on the client-facing link
-	trace   *obs.Summary
+	id       uint64
+	start    time.Time
+	outcome  string // delta | full | passthrough | forwarded | redirected | origin-error | engine-error
+	class    string
+	user     string
+	docLen   int
+	wire     int // payload bytes on the client-facing link
+	trace    *obs.Summary
+	traceCtx obs.TraceContext
+	capable  bool            // client advertised delta capability
+	reasons  flightrec.Reason // sampling triggers observed by the HTTP layer
+}
+
+// finish flushes the record at the end of a document request: a
+// flight-recorder entry (always, when a recorder is attached) and a
+// structured log line (when request logging is on).
+func (s *Server) finish(r *http.Request, rec *reqRecord) {
+	if s.flight != nil {
+		frec := flightrec.Record{
+			Trace:     rec.traceCtx,
+			Class:     rec.class,
+			Outcome:   outcomeValue(rec.outcome),
+			Start:     rec.start.UnixNano(),
+			Total:     time.Since(rec.start),
+			DocBytes:  int64(rec.docLen),
+			WireBytes: int64(rec.wire),
+			Reasons:   rec.reasons,
+		}
+		if rec.trace != nil {
+			frec.Spans = rec.trace.Stages
+			if fi := frec.Spans[obs.StageFaultIn]; fi.Dur > 0 || fi.Bytes > 0 {
+				frec.Reasons |= flightrec.ReasonFaultIn
+			}
+		}
+		if rec.capable && rec.outcome == "full" {
+			// A delta-capable client got the whole document: the degradation
+			// the tail sampler exists to explain.
+			frec.Reasons |= flightrec.ReasonDegraded
+		}
+		if rec.outcome == "origin-error" || rec.outcome == "engine-error" {
+			frec.Reasons |= flightrec.ReasonError
+		}
+		s.flight.Record(frec)
+	}
+	if s.log != nil {
+		s.emit(r, rec)
+	}
+}
+
+// outcomeValue maps a reqRecord outcome string onto the flight recorder's
+// enum. The string set and the enum are kept in sync; an unmapped string
+// records as "full" rather than dropping the record.
+func outcomeValue(o string) flightrec.Outcome {
+	if v, ok := flightrec.ParseOutcome(o); ok {
+		return v
+	}
+	return flightrec.OutcomeFull
 }
 
 // emit writes the record as one structured slog line.
@@ -332,6 +492,9 @@ func (s *Server) emit(r *http.Request, rec *reqRecord) {
 	if rec.class != "" {
 		attrs = append(attrs, slog.String("class", rec.class))
 	}
+	if !rec.traceCtx.IsZero() {
+		attrs = append(attrs, slog.String("trace", rec.traceCtx.ID.String()))
+	}
 	if rec.trace != nil {
 		attrs = append(attrs, slog.String("spans", rec.trace.String()))
 	}
@@ -341,15 +504,22 @@ func (s *Server) emit(r *http.Request, rec *reqRecord) {
 // serveDocument routes one document request through the cluster tier (when
 // enabled) and then through the local encoding pipeline.
 func (s *Server) serveDocument(w http.ResponseWriter, r *http.Request) {
-	var rec *reqRecord
-	if s.log != nil {
-		rec = &reqRecord{id: s.reqSeq.Add(1), start: time.Now(), outcome: "full"}
-		defer func() { s.emit(r, rec) }()
+	// Adopt the distributed trace context the request arrived with, or mint
+	// one — this node is then the trace's origin. A malformed header mints
+	// too: tracing degrades, it never fails a request.
+	ctx, ok := obs.ParseTraceContext(r.Header.Get(deltahttp.HeaderTrace))
+	if !ok {
+		ctx = obs.TraceContext{ID: obs.NewTraceID(), Origin: s.nodeID}
 	}
-	if s.cluster != nil && !s.dispatchOwned(w, r, rec) {
+	var rec *reqRecord
+	if s.log != nil || s.flight != nil {
+		rec = &reqRecord{id: s.reqSeq.Add(1), start: time.Now(), outcome: "full", traceCtx: ctx}
+		defer func() { s.finish(r, rec) }()
+	}
+	if s.cluster != nil && !s.dispatchOwned(w, r, rec, ctx) {
 		return
 	}
-	s.serveDocumentLocal(w, r, rec)
+	s.serveDocumentLocal(w, r, rec, ctx)
 }
 
 // dispatchOwned implements the tier's ownership protocol for one document
@@ -359,7 +529,7 @@ func (s *Server) serveDocument(w http.ResponseWriter, r *http.Request) {
 // (any node serves any class correctly — ownership is affinity, not
 // authority). It reports false when the response was already written: a
 // proxied owner response, or a 307 redirect.
-func (s *Server) dispatchOwned(w http.ResponseWriter, r *http.Request, rec *reqRecord) bool {
+func (s *Server) dispatchOwned(w http.ResponseWriter, r *http.Request, rec *reqRecord, ctx obs.TraceContext) bool {
 	if r.Header.Get(deltahttp.HeaderForwarded) != "" {
 		// Hop guard: the request already crossed one intra-tier hop. Serve
 		// it here no matter who we think owns it — under inconsistent
@@ -382,16 +552,24 @@ func (s *Server) dispatchOwned(w http.ResponseWriter, r *http.Request, rec *reqR
 		if rec != nil {
 			rec.outcome = "redirected"
 		}
+		// Echo the trace context on the redirect. An http.Client re-sends
+		// the original request headers on a 307, so a client that arrived
+		// with the header presents the same trace ID at the owner; the echo
+		// additionally hands clients without one the minted ID to attach.
+		w.Header().Set(deltahttp.HeaderTrace, ctx.HeaderValue())
 		http.Redirect(w, r, owner.URL+r.URL.RequestURI(), http.StatusTemporaryRedirect)
 		return false
 	}
 	start := time.Now()
-	wire, err := s.forward(w, r, owner)
+	wire, err := s.forward(w, r, owner, ctx)
 	if err != nil {
 		// Owner unreachable — typically the window between a peer dying and
 		// the prober marking it dead. Fall back to serving locally so the
 		// client never sees the failure.
 		s.cluster.Ctr.ForwardErrors.Inc()
+		if rec != nil {
+			rec.reasons |= flightrec.ReasonForwardError
+		}
 		return true
 	}
 	s.cluster.Ctr.Forwarded.Inc()
@@ -405,7 +583,7 @@ func (s *Server) dispatchOwned(w http.ResponseWriter, r *http.Request, rec *reqR
 
 // forward proxies a document request to the owning peer and relays the
 // response verbatim. Returns the payload bytes relayed.
-func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner cluster.Node) (int, error) {
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner cluster.Node, ctx obs.TraceContext) (int, error) {
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, owner.URL+r.URL.RequestURI(), nil)
 	if err != nil {
 		return 0, err
@@ -417,6 +595,7 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner cluster.N
 	// (including any Set-Cookie minting a uid) flow back the same way.
 	req.Header = r.Header.Clone()
 	req.Header.Set(deltahttp.HeaderForwarded, s.cluster.Self().ID)
+	req.Header.Set(deltahttp.HeaderTrace, ctx.Next().HeaderValue())
 	req.Host = r.Host
 	resp, err := s.client.Do(req)
 	if err != nil {
@@ -436,7 +615,10 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner cluster.N
 
 // serveDocumentLocal fetches the current snapshot from the origin and
 // responds with a delta or the full document.
-func (s *Server) serveDocumentLocal(w http.ResponseWriter, r *http.Request, rec *reqRecord) {
+func (s *Server) serveDocumentLocal(w http.ResponseWriter, r *http.Request, rec *reqRecord, ctx obs.TraceContext) {
+	// Name the trace on the response so clients (and an operator with
+	// curl -v) know which ID to look up in /_cbde/trace.
+	w.Header().Set(deltahttp.HeaderTrace, ctx.HeaderValue())
 	doc, contentType, status, err := s.fetchOrigin(r)
 	if err != nil {
 		if rec != nil {
@@ -472,11 +654,15 @@ func (s *Server) serveDocumentLocal(w http.ResponseWriter, r *http.Request, rec 
 		http.SetCookie(w, &http.Cookie{Name: "uid", Value: user, Path: "/"})
 	}
 	req := core.Request{
-		URL:    host + r.URL.RequestURI(),
-		UserID: user,
-		Doc:    doc,
+		URL:      host + r.URL.RequestURI(),
+		UserID:   user,
+		Doc:      doc,
+		TraceCtx: ctx,
 	}
 	if r.Header.Get(deltahttp.HeaderCapable) != "" {
+		if rec != nil {
+			rec.capable = true
+		}
 		req.HaveClassID = r.Header.Get(deltahttp.HeaderHaveClass)
 		if v, err := strconv.Atoi(r.Header.Get(deltahttp.HeaderHaveVersion)); err == nil {
 			req.HaveVersion = v

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExemplarPlacement(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	if h.Exemplars() != nil {
+		t.Fatal("fresh histogram reports exemplars")
+	}
+
+	h.Observe(0.05) // plain observation: still no exemplar storage
+	if h.Exemplars() != nil {
+		t.Fatal("plain Observe allocated exemplars")
+	}
+
+	h.ObserveExemplar(0.05, 0xaa, 0xbb, 100) // bucket le=0.1 → index 1
+	h.ObserveExemplar(5.0, 0xcc, 0xdd, 200)  // +Inf bucket → index 3
+	ex := h.Exemplars()
+	if len(ex) != 4 { // 3 bounds + Inf
+		t.Fatalf("len(Exemplars()) = %d, want 4", len(ex))
+	}
+	if !ex[1].Valid || ex[1].TraceHi != 0xaa || ex[1].TraceLo != 0xbb || ex[1].Value != 0.05 || ex[1].Timestamp != 100 {
+		t.Errorf("bucket 1 exemplar = %+v", ex[1])
+	}
+	if !ex[3].Valid || ex[3].TraceLo != 0xdd {
+		t.Errorf("+Inf exemplar = %+v", ex[3])
+	}
+	if ex[0].Valid || ex[2].Valid {
+		t.Errorf("untouched buckets have exemplars: %+v %+v", ex[0], ex[2])
+	}
+
+	// Newest wins within a bucket.
+	h.ObserveExemplar(0.07, 0x11, 0x22, 300)
+	if got := h.Exemplars()[1]; got.TraceLo != 0x22 || got.Timestamp != 300 {
+		t.Errorf("bucket 1 exemplar not replaced: %+v", got)
+	}
+
+	// ObserveExemplar still does the regular bookkeeping.
+	if h.Count() != 4 {
+		t.Errorf("Count() = %d, want 4", h.Count())
+	}
+
+	// Returned slice is a copy: mutating it must not touch the histogram.
+	cp := h.Exemplars()
+	cp[1].Valid = false
+	if !h.Exemplars()[1].Valid {
+		t.Error("Exemplars() aliases internal state")
+	}
+}
+
+func TestExposeEmitsExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", 0.01, 0.1)
+	h.ObserveExemplar(0.05, 1, 2, 1690000000)
+	h.Observe(0.005)
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `latency_seconds_bucket{le="0.1"} 2 # {trace_id="00000000000000010000000000000002"} 0.05 1690000000`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing exemplar line %q:\n%s", want, out)
+	}
+	// The bucket without an exemplar stays bare.
+	if !strings.Contains(out, "latency_seconds_bucket{le=\"0.01\"} 1\n") {
+		t.Errorf("bare bucket line malformed:\n%s", out)
+	}
+}
+
+func TestParseExpositionExemplarRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", 0.01, 0.1)
+	h.ObserveExemplar(0.05, 0xab, 0xcd, 42)
+
+	var b strings.Builder
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition with exemplars does not parse: %v\n%s", err, b.String())
+	}
+	var found *ParsedExemplar
+	for _, s := range exp.Samples {
+		if s.Name == "latency_seconds_bucket" && s.Exemplar != nil {
+			found = s.Exemplar
+		}
+	}
+	if found == nil {
+		t.Fatalf("no parsed exemplar in:\n%s", b.String())
+	}
+	if v, ok := exemplarLabel(found, "trace_id"); !ok || v != "00000000000000ab00000000000000cd" {
+		t.Errorf("trace_id label = %q, %v", v, ok)
+	}
+	if found.Value != 0.05 || found.Timestamp != 42 {
+		t.Errorf("exemplar value/ts = %v/%d", found.Value, found.Timestamp)
+	}
+}
+
+func exemplarLabel(ex *ParsedExemplar, name string) (string, bool) {
+	for _, l := range ex.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+func TestParseExemplarMalformed(t *testing.T) {
+	bad := []string{
+		"m_bucket{le=\"1\"} 1 # nonsense",
+		"m_bucket{le=\"1\"} 1 # {trace_id=\"x\"",       // unterminated
+		"m_bucket{le=\"1\"} 1 # {trace_id=\"x\"} nope", // bad value
+		"m_bucket{le=\"1\"} 1 # {trace_id=\"x\"} 1 ts", // bad timestamp
+	}
+	for _, doc := range bad {
+		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("ParseExposition accepted %q", doc)
+		}
+	}
+}

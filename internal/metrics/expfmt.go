@@ -23,6 +23,19 @@ type ParsedSample struct {
 	Labels []Label
 	// Value is the sample value.
 	Value float64
+	// Exemplar is the OpenMetrics-style exemplar annotation, if the sample
+	// line carried one (" # {trace_id=...} value ts" after the value).
+	Exemplar *ParsedExemplar
+}
+
+// ParsedExemplar is a parsed exemplar annotation on a sample line.
+type ParsedExemplar struct {
+	// Labels holds the exemplar's label pairs (for CBDE, trace_id).
+	Labels []Label
+	// Value is the exemplar's observed value.
+	Value float64
+	// Timestamp is the exemplar's Unix-seconds timestamp, 0 if absent.
+	Timestamp int64
 }
 
 // Exposition is a parsed exposition document.
@@ -149,7 +162,10 @@ func checkLabelName(name string) error {
 	return nil
 }
 
-// parseSampleLine parses `name{label="value",...} value [timestamp]`.
+// parseSampleLine parses `name{label="value",...} value [timestamp]`, with
+// an optional OpenMetrics-style exemplar suffix `# {label="v",...} value
+// [timestamp]` after the value (the extension this repo's exposition writer
+// emits on histogram bucket lines).
 func parseSampleLine(line string) (ParsedSample, error) {
 	var s ParsedSample
 	rest := line
@@ -174,6 +190,18 @@ func parseSampleLine(line string) (ParsedSample, error) {
 		rest = tail
 	}
 
+	// Split off the exemplar annotation before field-splitting the value.
+	// The sample's own labels are already consumed, so a '#' here can only
+	// start an exemplar.
+	if hash := strings.IndexByte(rest, '#'); hash >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[hash+1:]))
+		if err != nil {
+			return s, fmt.Errorf("sample %q: bad exemplar: %w", line, err)
+		}
+		s.Exemplar = &ex
+		rest = rest[:hash]
+	}
+
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return s, fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
@@ -189,6 +217,29 @@ func parseSampleLine(line string) (ParsedSample, error) {
 		}
 	}
 	return s, nil
+}
+
+// parseExemplar parses `{label="value",...} value [timestamp]`.
+func parseExemplar(in string) (ParsedExemplar, error) {
+	var ex ParsedExemplar
+	labels, tail, err := parseLabels(in)
+	if err != nil {
+		return ex, err
+	}
+	ex.Labels = labels
+	fields := strings.Fields(tail)
+	if len(fields) < 1 || len(fields) > 2 {
+		return ex, fmt.Errorf("want value [timestamp], got %q", tail)
+	}
+	if ex.Value, err = parseValue(fields[0]); err != nil {
+		return ex, fmt.Errorf("bad value: %w", err)
+	}
+	if len(fields) == 2 {
+		if ex.Timestamp, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return ex, fmt.Errorf("bad timestamp: %w", err)
+		}
+	}
+	return ex, nil
 }
 
 func parseValue(v string) (float64, error) {

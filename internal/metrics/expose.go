@@ -228,20 +228,34 @@ func writeHistogram(w io.Writer, name, help string, labelNames, labelValues []st
 
 // writeHistogramSamples emits the _bucket/_sum/_count series for one
 // histogram child. Bucket counts are cumulative, ending in the +Inf bucket
-// that by convention equals _count.
+// that by convention equals _count. Buckets that recorded an exemplar get
+// an OpenMetrics-style " # {trace_id=...} value ts" suffix — a deliberate
+// extension of the 0.0.4 text format (see DESIGN.md §15) that this repo's
+// own parser accepts and validates.
 func writeHistogramSamples(w io.Writer, name string, labelNames, labelValues []string, h *Histogram) {
 	bounds, counts := h.Buckets()
+	exemplars := h.Exemplars()
 	var cum int64
 	for i, ub := range bounds {
 		cum += counts[i]
 		le := Label{Name: "le", Value: formatValue(ub)}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(labelNames, labelValues, le), cum)
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, formatLabels(labelNames, labelValues, le), cum, exemplarSuffix(exemplars, i))
 	}
 	cum += counts[len(counts)-1]
 	inf := Label{Name: "le", Value: "+Inf"}
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(labelNames, labelValues, inf), cum)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, formatLabels(labelNames, labelValues, inf), cum, exemplarSuffix(exemplars, len(bounds)))
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(labelNames, labelValues), formatValue(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(labelNames, labelValues), h.Count())
+}
+
+// exemplarSuffix renders one bucket's exemplar annotation, or "" when the
+// bucket (or the whole histogram) has none.
+func exemplarSuffix(exemplars []Exemplar, i int) string {
+	if i >= len(exemplars) || !exemplars[i].Valid {
+		return ""
+	}
+	ex := exemplars[i]
+	return fmt.Sprintf(" # {trace_id=\"%016x%016x\"} %s %d", ex.TraceHi, ex.TraceLo, formatValue(ex.Value), ex.Timestamp)
 }
 
 // exposedQuantiles are the quantile estimates published alongside every

@@ -62,6 +62,26 @@ type Histogram struct {
 	max     float64
 	samples []float64  // reservoir for quantile estimates
 	rng     *rand.Rand // reservoir replacement; seeded so runs reproduce
+
+	// exemplars holds the last trace-carrying observation per bucket
+	// (len(counts) entries), allocated lazily by the first ObserveExemplar
+	// so histograms that never see traced traffic pay nothing.
+	exemplars []Exemplar
+}
+
+// Exemplar is the last traced observation that landed in a histogram
+// bucket: the trace ID to look up, the observed value, and when it was
+// recorded. The Prometheus exposition emits it after the bucket's sample
+// (OpenMetrics-style), linking a latency bucket to a retrievable trace.
+type Exemplar struct {
+	// TraceHi and TraceLo are the halves of the 128-bit trace ID.
+	TraceHi, TraceLo uint64
+	// Value is the observed value that landed in the bucket.
+	Value float64
+	// Timestamp is the observation time, Unix seconds.
+	Timestamp int64
+	// Valid reports whether the bucket has recorded an exemplar at all.
+	Valid bool
 }
 
 const histReservoirSize = 4096
@@ -91,6 +111,26 @@ func NewHistogram(bounds ...float64) *Histogram {
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	h.observeLocked(v)
+}
+
+// ObserveExemplar records an observation and stamps its bucket with the
+// observing request's 128-bit trace ID (hi/lo halves) and a Unix-seconds
+// timestamp. Each bucket keeps only the most recent exemplar — enough to
+// jump from "the p99 bucket grew" to one concrete retained trace.
+func (h *Histogram) ObserveExemplar(v float64, traceHi, traceLo uint64, ts int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := h.observeLocked(v)
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[idx] = Exemplar{TraceHi: traceHi, TraceLo: traceLo, Value: v, Timestamp: ts, Valid: true}
+}
+
+// observeLocked does the shared bookkeeping and returns the bucket index
+// the observation landed in. Callers hold h.mu.
+func (h *Histogram) observeLocked(v float64) int {
 	idx := sort.SearchFloat64s(h.bounds, v)
 	h.counts[idx]++
 	h.sum += v
@@ -111,6 +151,7 @@ func (h *Histogram) Observe(v float64) {
 			h.samples[j] = v
 		}
 	}
+	return idx
 }
 
 // Count returns the number of observations.
@@ -218,6 +259,20 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 	c := make([]int64, len(h.counts))
 	copy(c, h.counts)
 	return b, c
+}
+
+// Exemplars returns a copy of the per-bucket exemplars, index-aligned with
+// the counts slice from Buckets (last entry is the +Inf bucket). Nil when
+// no exemplar was ever recorded.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.exemplars == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(h.exemplars))
+	copy(out, h.exemplars)
+	return out
 }
 
 // Registry is a named collection of metrics. Create one with NewRegistry.

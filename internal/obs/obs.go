@@ -91,6 +91,7 @@ type Span struct {
 // is how disabled tracing stays free on the hot path.
 type Trace struct {
 	id     uint64
+	ctx    TraceContext
 	start  time.Time
 	spans  [NumStages]Span
 	tracer *Tracer
@@ -132,12 +133,24 @@ func (tr *Trace) ID() uint64 {
 	return tr.id
 }
 
+// Ctx returns the distributed trace context the trace was started with, or
+// the zero context on a nil trace.
+func (tr *Trace) Ctx() TraceContext {
+	if tr == nil {
+		return TraceContext{}
+	}
+	return tr.ctx
+}
+
 // Summary is the immutable, caller-owned digest of a finished trace — what
 // the engine attaches to a Response and the delta-server writes to its
 // request log.
 type Summary struct {
 	// ID is the tracer-unique request sequence number.
 	ID uint64
+	// Ctx is the distributed trace context the trace carried; zero when the
+	// request had none.
+	Ctx TraceContext
 	// Total is the wall time from Start to Finish.
 	Total time.Duration
 	// Stages holds the per-stage spans, indexed by Stage.
@@ -197,6 +210,14 @@ func (t *Tracer) Enabled() bool {
 // Start begins a trace, or returns nil when tracing is disabled (or t is
 // nil). The disabled path is a single atomic load with zero allocations.
 func (t *Tracer) Start() *Trace {
+	return t.StartCtx(TraceContext{})
+}
+
+// StartCtx begins a trace carrying a distributed trace context, so the
+// finished Summary (and anything recorded from it) can be joined with the
+// other hops of the same request. The zero context is allowed and equivalent
+// to Start.
+func (t *Tracer) StartCtx(ctx TraceContext) *Trace {
 	if t == nil || !t.enabled.Load() {
 		return nil
 	}
@@ -205,6 +226,7 @@ func (t *Tracer) Start() *Trace {
 		tr = &Trace{}
 	}
 	tr.id = t.seq.Add(1)
+	tr.ctx = ctx
 	tr.start = time.Now()
 	tr.spans = [NumStages]Span{}
 	tr.tracer = t
@@ -213,17 +235,25 @@ func (t *Tracer) Start() *Trace {
 
 // Finish completes the trace: the completion callback observes it, a
 // caller-owned Summary is built, and the trace returns to the pool. Returns
-// nil on a nil trace. The *Trace must not be used after Finish.
+// nil on a nil trace, and on a trace already finished or discarded — the
+// first Finish/Discard wins and later calls are no-ops, so a confused caller
+// can never double-Put into the pool (which would hand the same *Trace to
+// two concurrent requests). The *Trace must not be used after Finish.
 func (tr *Trace) Finish() *Summary {
 	if tr == nil {
 		return nil
 	}
+	t := tr.tracer
+	if t == nil {
+		return nil // already finished or discarded
+	}
+	tr.tracer = nil
 	sum := &Summary{
 		ID:     tr.id,
+		Ctx:    tr.ctx,
 		Total:  time.Since(tr.start),
 		Stages: tr.spans,
 	}
-	t := tr.tracer
 	if t.onComplete != nil {
 		t.onComplete(tr)
 	}
@@ -233,12 +263,18 @@ func (tr *Trace) Finish() *Summary {
 
 // Discard abandons the trace without invoking the completion callback,
 // returning it to the pool. For request paths that error out before
-// producing a response. No-op on a nil trace.
+// producing a response. No-op on a nil trace and on one already finished or
+// discarded (same double-Put guard as Finish).
 func (tr *Trace) Discard() {
 	if tr == nil {
 		return
 	}
-	tr.tracer.pool.Put(tr)
+	t := tr.tracer
+	if t == nil {
+		return // already finished or discarded
+	}
+	tr.tracer = nil
+	t.pool.Put(tr)
 }
 
 // Span returns the stage's span. The zero Span on a nil trace or an

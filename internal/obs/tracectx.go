@@ -1,0 +1,166 @@
+// Distributed trace context: the identity one client request keeps while it
+// crosses delta-server tier nodes. The context is minted by the first node a
+// request lands on and carried on the X-CBDE-Trace header through cluster
+// forwards, 307 redirects, and peer-to-peer base fetches, so every node's
+// flight-recorder records for one request share a trace ID and a finished
+// trace can be joined back into the full cross-node timeline.
+//
+// The wire form is deliberately tiny and parseable without allocation:
+//
+//	<32 hex digits>;o=<origin-node-id>;h=<hop>
+//
+// e.g. "4bf92f3577b34da6a3ce929d0e0e4736;o=n0;h=1". Hop counts forwarding
+// steps (0 at the origin node); origin names the node that minted the ID so
+// joined traces can be rooted even when the minting node's records rotated
+// out of its ring.
+package obs
+
+import (
+	"math/rand/v2"
+	"strconv"
+	"strings"
+)
+
+// TraceID is a 128-bit request-scoped identifier, random per trace.
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// NewTraceID mints a random, non-zero 128-bit trace ID.
+func NewTraceID() TraceID {
+	id := TraceID{Hi: rand.Uint64(), Lo: rand.Uint64()}
+	if id.IsZero() {
+		// Vanishingly unlikely, but a zero ID means "no trace" everywhere
+		// else, so it must never be minted.
+		id.Lo = 1
+	}
+	return id
+}
+
+// IsZero reports whether the ID is the zero value ("no trace").
+func (id TraceID) IsZero() bool { return id.Hi == 0 && id.Lo == 0 }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string {
+	var buf [32]byte
+	id.appendHex(buf[:0])
+	return string(buf[:])
+}
+
+// appendHex appends the 32-digit hex form to dst.
+func (id TraceID) appendHex(dst []byte) []byte {
+	const hex = "0123456789abcdef"
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hex[(id.Hi>>uint(shift))&0xf])
+	}
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hex[(id.Lo>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// ParseTraceID parses a 32-hex-digit trace ID, as rendered by
+// TraceID.String and carried in NDJSON records and exemplar labels.
+func ParseTraceID(s string) (TraceID, bool) {
+	return parseTraceID(s)
+}
+
+// parseTraceID parses exactly 32 hex digits.
+func parseTraceID(s string) (TraceID, bool) {
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	parseHalf := func(h string) (uint64, bool) {
+		var v uint64
+		for i := 0; i < len(h); i++ {
+			c := h[i]
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return 0, false
+			}
+			v = v<<4 | d
+		}
+		return v, true
+	}
+	hi, ok1 := parseHalf(s[:16])
+	lo, ok2 := parseHalf(s[16:])
+	if !ok1 || !ok2 {
+		return TraceID{}, false
+	}
+	return TraceID{Hi: hi, Lo: lo}, true
+}
+
+// TraceContext is the propagated identity of one distributed request. The
+// zero value means "no trace context".
+type TraceContext struct {
+	// ID is the 128-bit trace identifier, shared by every hop.
+	ID TraceID
+	// Origin is the node ID that minted the trace — the first delta-server
+	// the client reached.
+	Origin string
+	// Hop counts intra-tier forwarding steps: 0 on the origin node, 1 on
+	// the node a forward (or peer base fetch) landed on.
+	Hop int
+}
+
+// IsZero reports whether the context carries no trace.
+func (c TraceContext) IsZero() bool { return c.ID.IsZero() }
+
+// Next returns the context the next hop should carry: same ID and origin,
+// hop incremented.
+func (c TraceContext) Next() TraceContext {
+	c.Hop++
+	return c
+}
+
+// HeaderValue renders the context in X-CBDE-Trace wire form.
+func (c TraceContext) HeaderValue() string {
+	var b strings.Builder
+	b.Grow(32 + len(c.Origin) + 12)
+	var idb [32]byte
+	b.Write(c.ID.appendHex(idb[:0]))
+	b.WriteString(";o=")
+	b.WriteString(c.Origin)
+	b.WriteString(";h=")
+	b.WriteString(strconv.Itoa(c.Hop))
+	return b.String()
+}
+
+// ParseTraceContext parses an X-CBDE-Trace header value. A malformed value
+// yields (zero, false): propagation degrades to a fresh local trace, never
+// to an error — the trace layer must not be able to fail a request.
+// Parsing allocates nothing (origin is a substring of the input).
+func ParseTraceContext(s string) (TraceContext, bool) {
+	idPart, rest, ok := strings.Cut(s, ";")
+	if !ok {
+		return TraceContext{}, false
+	}
+	id, ok := parseTraceID(idPart)
+	if !ok || id.IsZero() {
+		return TraceContext{}, false
+	}
+	originPart, hopPart, ok := strings.Cut(rest, ";")
+	if !ok {
+		return TraceContext{}, false
+	}
+	origin, ok := strings.CutPrefix(originPart, "o=")
+	if !ok || origin == "" {
+		return TraceContext{}, false
+	}
+	hopStr, ok := strings.CutPrefix(hopPart, "h=")
+	if !ok {
+		return TraceContext{}, false
+	}
+	hop, err := strconv.Atoi(hopStr)
+	if err != nil || hop < 0 || hop > 255 {
+		return TraceContext{}, false
+	}
+	return TraceContext{ID: id, Origin: origin, Hop: hop}, true
+}

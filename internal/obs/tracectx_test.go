@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTraceIDStringRoundTrip(t *testing.T) {
+	id := TraceID{Hi: 0x4bf92f3577b34da6, Lo: 0xa3ce929d0e0e4736}
+	s := id.String()
+	if s != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("String() = %q", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", s, back, ok)
+	}
+	// Uppercase hex parses too (lenient on input, canonical on output).
+	up, ok := ParseTraceID("4BF92F3577B34DA6A3CE929D0E0E4736")
+	if !ok || up != id {
+		t.Fatalf("uppercase parse = %v, %v", up, ok)
+	}
+	for _, bad := range []string{"", "abc", "4bf92f3577b34da6a3ce929d0e0e473", "4bf92f3577b34da6a3ce929d0e0e47366", "zzf92f3577b34da6a3ce929d0e0e4736"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewTraceIDNonZero(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if NewTraceID().IsZero() {
+			t.Fatal("NewTraceID minted the zero ID")
+		}
+	}
+}
+
+func TestTraceContextHeaderRoundTrip(t *testing.T) {
+	ctx := TraceContext{ID: TraceID{Hi: 1, Lo: 2}, Origin: "n0", Hop: 0}
+	hv := ctx.HeaderValue()
+	if hv != "00000000000000010000000000000002;o=n0;h=0" {
+		t.Fatalf("HeaderValue() = %q", hv)
+	}
+	back, ok := ParseTraceContext(hv)
+	if !ok || back != ctx {
+		t.Fatalf("ParseTraceContext(%q) = %+v, %v", hv, back, ok)
+	}
+	next := ctx.Next()
+	if next.Hop != 1 || next.ID != ctx.ID || next.Origin != ctx.Origin {
+		t.Fatalf("Next() = %+v", next)
+	}
+	back2, ok := ParseTraceContext(next.HeaderValue())
+	if !ok || back2 != next {
+		t.Fatalf("Next round trip = %+v, %v", back2, ok)
+	}
+}
+
+func TestParseTraceContextMalformed(t *testing.T) {
+	valid := TraceContext{ID: TraceID{Lo: 7}, Origin: "node-1", Hop: 3}.HeaderValue()
+	if _, ok := ParseTraceContext(valid); !ok {
+		t.Fatalf("control value %q did not parse", valid)
+	}
+	for _, bad := range []string{
+		"",
+		"00000000000000010000000000000002",          // no origin/hop
+		"00000000000000010000000000000002;o=n0",     // no hop
+		"00000000000000010000000000000002;o=;h=0",   // empty origin
+		"00000000000000010000000000000002;o=n0;h=",  // empty hop
+		"00000000000000010000000000000002;o=n0;h=x", // non-numeric hop
+		"00000000000000010000000000000002;o=n0;h=-1",
+		"00000000000000010000000000000002;o=n0;h=256",
+		"00000000000000000000000000000000;o=n0;h=0", // zero ID means no trace
+		"short;o=n0;h=0",
+	} {
+		if got, ok := ParseTraceContext(bad); ok {
+			t.Errorf("ParseTraceContext(%q) accepted: %+v", bad, got)
+		}
+	}
+}
+
+func TestStartCtxFlowsToSummary(t *testing.T) {
+	tr := New(nil)
+	tr.SetEnabled(true)
+	ctx := TraceContext{ID: TraceID{Hi: 9, Lo: 9}, Origin: "a", Hop: 1}
+	trace := tr.StartCtx(ctx)
+	if trace.Ctx() != ctx {
+		t.Fatalf("Ctx() = %+v", trace.Ctx())
+	}
+	sum := trace.Finish()
+	if sum == nil || sum.Ctx != ctx {
+		t.Fatalf("Summary.Ctx = %+v", sum)
+	}
+	// Plain Start leaves the context zero, and a pooled trace must not
+	// leak the previous request's context.
+	plain := tr.Start()
+	if !plain.Ctx().IsZero() {
+		t.Fatalf("recycled trace kept stale ctx %+v", plain.Ctx())
+	}
+	plain.Finish()
+}
+
+// TestFinishDiscardGuard is the pool-lifecycle regression test: double
+// Finish, Finish-then-Discard, and double Discard must be no-ops after the
+// first call, never a second sync.Pool.Put. Without the guard, the same
+// *Trace could be handed to two concurrent requests at once.
+func TestFinishDiscardGuard(t *testing.T) {
+	tr := New(nil)
+	tr.SetEnabled(true)
+
+	trace := tr.StartCtx(TraceContext{ID: TraceID{Lo: 1}, Origin: "n", Hop: 0})
+	if sum := trace.Finish(); sum == nil {
+		t.Fatal("first Finish returned nil")
+	}
+	if sum := trace.Finish(); sum != nil {
+		t.Fatalf("second Finish returned %+v, want nil", sum)
+	}
+	trace.Discard() // Finish-then-Discard: also a no-op
+
+	trace2 := tr.Start()
+	trace2.Discard()
+	trace2.Discard() // double Discard
+	if sum := trace2.Finish(); sum != nil {
+		t.Fatalf("Finish after Discard returned %+v, want nil", sum)
+	}
+
+	// The concrete double-Put symptom: after a double release, two Starts
+	// could pull the SAME trace out of the pool. Prove they don't.
+	a := tr.Start()
+	b := tr.Start()
+	if a == b {
+		t.Fatal("pool handed out one trace twice after double release")
+	}
+	// Both stay independently usable.
+	a.Record(StageRoute, a.Now().Add(-time.Millisecond), 1)
+	if a.Finish() == nil {
+		t.Fatal("live trace a failed to finish")
+	}
+	if b.Finish() == nil {
+		t.Fatal("live trace b failed to finish")
+	}
+}
