@@ -876,3 +876,106 @@ func BenchmarkStoreSpillFaultIn(b *testing.B) {
 		})
 	}
 }
+
+// graphBenchDoc renders one content generation for the version-graph
+// benchmark: a shared template plus a per-generation churn section, the
+// edit shape where retained edges stay small relative to the document.
+func graphBenchDoc(gen int) []byte {
+	doc := make([]byte, 0, 34000)
+	x := uint64(4242)
+	for len(doc) < 30000 {
+		x = x*2862933555777941757 + 3037000493
+		doc = append(doc, byte(x>>56))
+	}
+	x = uint64(gen) + 9000
+	for i := 0; i < 3000; i++ {
+		x = x*2862933555777941757 + 3037000493
+		doc = append(doc, byte(x>>56))
+	}
+	return doc
+}
+
+// BenchmarkGraphStaleClient measures serving a client whose base-file lags
+// the current version by 1, 2, and 4 rebases, with the version graph on
+// (depth 6: direct old-version deltas or composed chains) versus off
+// (depth 1: any lag falls off the delta path). wireB/op is the headline:
+// bytes a stale client costs on the wire under each retention policy.
+func BenchmarkGraphStaleClient(b *testing.B) {
+	for _, g := range []struct {
+		name  string
+		depth int
+	}{
+		{"graph-on", 6},
+		{"graph-off", 1},
+	} {
+		for _, lag := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/lag%d", g.name, lag), func(b *testing.B) {
+				eng, err := core.NewEngine(core.Config{
+					DisableAnonymization: true,
+					GraphDepth:           g.depth,
+					MaxDeltaRatio:        0.02,
+					Selector:             basefile.Config{SampleProb: 1, MaxSamples: 4},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				const gens = 8
+				classID, have := "", 0
+				for gen := 1; gen <= gens; gen++ {
+					for r := 0; r < 2; r++ {
+						resp, err := eng.Process(core.Request{
+							URL: "www.graph.com/catalog/0", UserID: "warm",
+							Doc:         graphBenchDoc(gen),
+							HaveClassID: classID, HaveVersion: have,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						classID = resp.ClassID
+						if resp.LatestVersion > have {
+							have = resp.LatestVersion
+						}
+					}
+				}
+				doc := graphBenchDoc(gens)
+				stale := have - lag
+				if stale < 1 {
+					b.Fatalf("lag %d exceeds version history %d", lag, have)
+				}
+				// With the graph off the stale version is pruned and every
+				// response is full — that cost is exactly the comparison.
+				var wire int64
+				deltas, chains := 0, 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					resp, err := eng.Process(core.Request{
+						URL: "www.graph.com/catalog/0", UserID: "bench", Doc: doc,
+						HaveClassID: classID, HaveVersion: stale,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if resp.Kind == core.KindDelta {
+						deltas++
+						if resp.Format == core.FormatVdeltaChain {
+							chains++
+						}
+						wire += int64(len(resp.Payload))
+					} else {
+						wire += int64(len(doc))
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(wire)/float64(b.N), "wireB/op")
+				b.ReportMetric(float64(deltas)/float64(b.N), "delta-frac")
+				b.ReportMetric(float64(chains)/float64(b.N), "chain-frac")
+				if g.depth > 1 && deltas == 0 {
+					b.Fatal("graph-on served no deltas to a retained stale client")
+				}
+				if g.depth == 1 && deltas != 0 {
+					b.Fatal("graph-off unexpectedly served deltas to a pruned version")
+				}
+			})
+		}
+	}
+}

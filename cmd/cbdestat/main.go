@@ -48,6 +48,10 @@ var coreSeries = []string{
 	"cbde_delta_cache_hits_total",
 	"cbde_delta_cache_misses_total",
 	"cbde_delta_cache_coalesced_total",
+	"cbde_graph_direct_total",
+	"cbde_graph_composed_total",
+	"cbde_graph_fallback_full_total",
+	"cbde_graph_chain_length_bucket",
 	"cbde_stage_duration_seconds_bucket",
 	"cbde_stage_duration_seconds_sum",
 	"cbde_stage_duration_seconds_count",
@@ -146,6 +150,7 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		var st struct {
 			store.Stats
 			DeltaCache core.DeltaCacheStats `json:"deltaCache"`
+			Graph      core.GraphStats      `json:"graph"`
 			Disk       store.TierStats      `json:"disk"`
 		}
 		if err := json.Unmarshal(body, &st); err != nil {
@@ -155,13 +160,17 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		if st.Budget > 0 {
 			budget = fmt.Sprintf("%d budget", st.Budget)
 		}
-		fmt.Fprintf(out, "\nstore: %d resident bytes (%s; base %d, cand %d, index %d, delta %d), %d/%d classes resident, %d prunes, %d evictions\n",
+		fmt.Fprintf(out, "\nstore: %d resident bytes (%s; base %d, cand %d, index %d, delta %d, edge %d), %d/%d classes resident, %d prunes, %d evictions\n",
 			st.Resident.Total, budget,
-			st.Resident.BaseBytes, st.Resident.CandBytes, st.Resident.IndexBytes, st.Resident.DeltaBytes,
+			st.Resident.BaseBytes, st.Resident.CandBytes, st.Resident.IndexBytes, st.Resident.DeltaBytes, st.Resident.EdgeBytes,
 			st.ResidentClasses, st.Classes, st.Prunes, st.Evictions)
 		if dc := st.DeltaCache; dc.Enabled {
 			fmt.Fprintf(out, "delta-cache: %d hits, %d misses, %d coalesced, %d entries (%d bytes), %d invalidations\n",
 				dc.Hits, dc.Misses, dc.Coalesced, dc.Entries, dc.Bytes, dc.Invalidations)
+		}
+		if g := st.Graph; g.Depth > 1 || g.Edges > 0 || g.Direct+g.Composed+g.FallbackFull > 0 {
+			fmt.Fprintf(out, "graph: depth %d, %d edges (%d bytes); served %d direct, %d composed, %d fallback-full\n",
+				g.Depth, g.Edges, g.EdgeBytes, g.Direct, g.Composed, g.FallbackFull)
 		}
 		if d := st.Disk; d.Enabled {
 			diskBudget := "unbounded"
@@ -220,7 +229,7 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 		return nil
 	}
 	tw := tabwriter.NewWriter(out, 2, 8, 2, ' ', 0)
-	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON\tRESIDENT\tEV/RW/FI")
+	fmt.Fprintln(tw, "\nCLASS\tREQS\tHITS\tMISSES\tBYTES-IN\tSHIPPED\tSAVED%\tBASE\tAGE\tANON\tRESIDENT\tEV/RW/FI\tGRAPH\tD/C/F")
 	for _, r := range rows {
 		// Completed anonymization processes are discarded by the engine,
 		// so inactive classes show "-" rather than guessing done vs off.
@@ -239,11 +248,15 @@ func snapshot(client *http.Client, server string, out io.Writer) error {
 				base = "evicted"
 			}
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%d\t%d/%d/%d\n",
+		// GRAPH is "<versions>v/<edges>e"; D/C/F splits delta serving into
+		// direct, composed-chain, and aged-out full-fallback responses.
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.1f\t%s\t%s\t%s\t%d\t%d/%d/%d\t%dv/%de\t%d/%d/%d\n",
 			r.ID, r.Requests, r.DeltaHits, r.DeltaMisses,
 			r.BytesIn, r.BytesShipped, 100*r.Savings(),
 			base, r.BaseAge.Round(time.Second), anon,
-			r.ResidentBytes, r.Evictions, r.Rewarms, r.FaultIns)
+			r.ResidentBytes, r.Evictions, r.Rewarms, r.FaultIns,
+			r.GraphVersions, r.GraphEdges,
+			r.GraphDirect, r.GraphComposed, r.GraphFallback)
 	}
 	return tw.Flush()
 }

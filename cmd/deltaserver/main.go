@@ -70,6 +70,8 @@ func run(args []string) error {
 		deltaCache        = fs.Bool("delta-cache", true, "memoize encoded deltas per class with singleflight coalescing")
 		deltaCacheEntries = fs.Int("delta-cache-entries", 0, "max memoized deltas per class (0 = default 256)")
 
+		graphDepth = fs.Int("graph-depth", 0, "version graph: retained base versions per class, served via direct or chained deltas (0 = default 2; 1 = no edges)")
+
 		stateFile = fs.String("state", "", "persist engine state to this file (load at start, save on shutdown)")
 		stateSave = fs.Duration("state-save-every", 5*time.Minute, "periodic state-save interval (with -state)")
 
@@ -166,6 +168,7 @@ func run(args []string) error {
 		MaxDeltaRatio:     *maxDeltaRatio,
 		DeltaCacheOff:     !*deltaCache,
 		DeltaCacheEntries: *deltaCacheEntries,
+		GraphDepth:        *graphDepth,
 	})
 	if err != nil {
 		return err

@@ -34,6 +34,7 @@ func run(args []string) error {
 		vcdiff   = fs.Bool("vcdiff", false, "request RFC 3284 VCDIFF payloads")
 		verify   = fs.Bool("verify", false, "byte-compare every reconstruction against a plain re-fetch; exit non-zero on mismatch")
 		repeat   = fs.Float64("repeat", 0, "fraction of requests repeating the previous path (0..1); exercises the delta memo cache")
+		lag      = fs.Float64("lag", 0, "mean client staleness in versions (geometric); clients refresh base-files behind latest and exercise the server's version graph")
 		diurnal  = fs.Int("diurnal", 0, "alternate each client between the two halves of -paths this many cycles per run; with a budgeted server the idle half evicts (and spills) while the other is hot")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +61,7 @@ func run(args []string) error {
 		VCDIFF:            *vcdiff,
 		Verify:            *verify,
 		RepeatRatio:       *repeat,
+		LagMean:           *lag,
 		DiurnalCycles:     *diurnal,
 	})
 	if err != nil {

@@ -151,6 +151,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// SameResidue reports whether versions a and b both belong to this
+// config's residue class — i.e. were both minted by this node under the
+// configured stride. Version-graph edges may only connect same-residue
+// versions: after a failover a class can briefly hold foreign versions,
+// and an edge across residues would compose deltas over bytes this node
+// never minted.
+func (c Config) SameResidue(a, b int) bool {
+	stride := c.VersionStride
+	if stride <= 0 {
+		stride = 1
+	}
+	off := ((c.VersionOffset % stride) + stride) % stride
+	return a%stride == off && b%stride == off
+}
+
 // Event reports what a call to Observe did.
 type Event struct {
 	Sampled     bool // the document was stored as a base-file candidate

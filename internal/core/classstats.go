@@ -57,6 +57,16 @@ type ClassStats struct {
 	// class has been restored from disk.
 	Spilled  bool  `json:"spilled,omitempty"`
 	FaultIns int64 `json:"faultIns,omitempty"`
+
+	// Version-graph section: retained base versions and the cached edge
+	// deltas between them, plus how the class's responses split between
+	// direct deltas, composed chains, and aged-out full fallbacks.
+	GraphVersions  int   `json:"graphVersions"`
+	GraphEdges     int   `json:"graphEdges"`
+	GraphEdgeBytes int64 `json:"graphEdgeBytes"`
+	GraphDirect    int64 `json:"graphDirect"`
+	GraphComposed  int64 `json:"graphComposed"`
+	GraphFallback  int64 `json:"graphFallback"`
 }
 
 // Savings is the class's bandwidth savings fraction (1 - shipped/in), or 0
@@ -81,7 +91,13 @@ func (e *Engine) classStats(cs *classState, now time.Time) ClassStats {
 	}
 	st.ResidentBytes = cs.res.Total()
 	st.Spilled = cs.spilled.Load()
+	st.GraphEdgeBytes = cs.res.Usage().EdgeBytes
+	st.GraphDirect = cs.gDirect.Load()
+	st.GraphComposed = cs.gComposed.Load()
+	st.GraphFallback = cs.gFallback.Load()
 	cs.mu.RLock()
+	st.GraphVersions = len(cs.bases)
+	st.GraphEdges = len(cs.edges)
 	st.Evicted = cs.evicted
 	st.Evictions = cs.evictions
 	st.Rewarms = cs.rewarms
@@ -147,9 +163,10 @@ func (e *Engine) collect(c *metrics.Collection) {
 		{"cand", st.Resident.CandBytes},
 		{"index", st.Resident.IndexBytes},
 		{"delta", st.Resident.DeltaBytes},
+		{"edge", st.Resident.EdgeBytes},
 	} {
 		c.Gauge("cbde_store_resident_bytes",
-			"Resident class-storage bytes by kind (base versions, selector candidates, codec indexes, memoized deltas).",
+			"Resident class-storage bytes by kind (base versions, selector candidates, codec indexes, memoized deltas, graph edges).",
 			[]metrics.Label{{Name: "kind", Value: kind.name}}, float64(kind.value))
 	}
 	c.Gauge("cbde_store_budget_bytes",
@@ -176,6 +193,15 @@ func (e *Engine) collect(c *metrics.Collection) {
 	c.Counter("cbde_delta_cache_coalesced_total",
 		"Requests that coalesced onto another request's in-flight encode.",
 		nil, float64(e.ctr.memoCoalesced.Value()))
+	c.Counter("cbde_graph_direct_total",
+		"Delta responses encoded directly against the version the client holds.",
+		nil, float64(e.ctr.graphDirect.Value()))
+	c.Counter("cbde_graph_composed_total",
+		"Delta responses served as composed chains of cached version-graph edges.",
+		nil, float64(e.ctr.graphComposed.Value()))
+	c.Counter("cbde_graph_fallback_full_total",
+		"Full responses forced by the client's version aging out of the graph.",
+		nil, float64(e.ctr.graphFallback.Value()))
 
 	// Disk-tier series exist only when the tier is configured, so -check
 	// on untiered servers stays meaningful and dashboards can feature-

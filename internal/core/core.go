@@ -34,6 +34,7 @@ import (
 	"cbde/internal/basefile"
 	"cbde/internal/classify"
 	"cbde/internal/deltacache"
+	"cbde/internal/deltahttp"
 	"cbde/internal/gzipx"
 	"cbde/internal/metrics"
 	"cbde/internal/obs"
@@ -100,7 +101,16 @@ type Config struct {
 	MaxDeltaRatio float64
 	// KeepBaseVersions is how many distributed base-file versions per class
 	// stay available for clients that hold an older version. Default 2.
+	// GraphDepth supersedes it as the retention bound when set; it remains
+	// as the default depth for configurations that predate the graph.
 	KeepBaseVersions int
+	// GraphDepth bounds the per-class version graph: up to GraphDepth
+	// recent base versions stay resident, linked by delta edges between
+	// adjacent ones, so a client on any retained version is served a
+	// direct delta or a composed chain of cached edges instead of a full
+	// response. Depth 1 keeps only the current version (no edges, the
+	// pre-graph behavior at K=1). Default: KeepBaseVersions.
+	GraphDepth int
 	// MemBudget caps resident class storage — installed base-file versions,
 	// selector-held documents, and codec indexes — in bytes. Over budget,
 	// the engine first prunes redundant per-class payload (old base
@@ -154,6 +164,9 @@ func (c Config) withDefaults() Config {
 	if c.KeepBaseVersions <= 0 {
 		c.KeepBaseVersions = 2
 	}
+	if c.GraphDepth <= 0 {
+		c.GraphDepth = c.KeepBaseVersions
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -174,6 +187,12 @@ const (
 	FormatVdelta Format = iota + 1
 	// FormatVCDIFF is the RFC 3284 interchange format (reference [12]).
 	FormatVCDIFF
+	// FormatVdeltaChain is a framed sequence of vdelta deltas the client
+	// applies in order from the base version it holds: each cached edge
+	// delta rewrites one retained version into the next, and the final
+	// segment rewrites the current base into the document. Produced by the
+	// version graph for lagging clients; never requested directly.
+	FormatVdeltaChain
 )
 
 // String implements fmt.Stringer.
@@ -183,6 +202,8 @@ func (f Format) String() string {
 		return "vdelta"
 	case FormatVCDIFF:
 		return "vcdiff"
+	case FormatVdeltaChain:
+		return "vdelta-chain"
 	default:
 		return fmt.Sprintf("Format(%d)", int(f))
 	}
@@ -283,6 +304,9 @@ type Response struct {
 	// BasicRebase reports that this request triggered a basic-rebase
 	// because its delta came out too large.
 	BasicRebase bool
+	// ChainLen is the number of segments in a FormatVdeltaChain payload
+	// (edge deltas plus the tip delta); 0 for every other format.
+	ChainLen int
 	// Trace is the request's pipeline span summary, non-nil only when the
 	// engine's tracer is enabled. The delta-server folds it into its
 	// structured request log.
@@ -378,8 +402,11 @@ type classState struct {
 	selector *basefile.Selector
 
 	// Distributable (anonymized, for class-based mode) base-file versions.
-	// bases[v] exists for the KeepBaseVersions most recent versions.
+	// bases[v] exists for the GraphDepth most recent versions; edges[v] is
+	// the version graph's cached delta from retained version v to the next
+	// retained version (see graph.go for the invariants).
 	bases       map[int]*baseVersion
+	edges       map[int]*versionEdge
 	distVersion int       // newest distributable version; 0 = none yet
 	installedAt time.Time // when distVersion was installed (zero = never)
 
@@ -422,6 +449,13 @@ type classState struct {
 	// engine's labeled metric families once at creation so the request hot
 	// path only touches atomics.
 	ctr classCounters
+
+	// gDirect, gComposed, and gFallback are the class's version-graph serve
+	// counters: single-delta responses, composed-chain responses, and full
+	// responses forced by the client's version aging out of the graph.
+	gDirect   atomic.Int64
+	gComposed atomic.Int64
+	gFallback atomic.Int64
 }
 
 var _ store.Entry = (*classState)(nil)
@@ -463,6 +497,9 @@ func (cs *classState) Prune() int64 {
 			bv.release()
 		}
 	}
+	// With only the current version left there is nothing for an edge to
+	// connect; the graph regrows from the next installs.
+	cs.dropEdgesLocked()
 	cs.selector.DropSamples()
 	// Memoized deltas are derived data: the cheapest payload to shed and
 	// to regrow, and some were encoded against the versions just dropped.
@@ -497,6 +534,7 @@ func (cs *classState) Evict() int64 {
 		delete(cs.bases, v)
 		bv.release()
 	}
+	cs.dropEdgesLocked()
 	cs.distVersion = 0
 	cs.installedAt = time.Time{}
 	cs.anonProc = nil
@@ -557,6 +595,9 @@ type hotCounters struct {
 	memoCoalesced  *metrics.Counter // requests that waited on a leader's encode
 	encodeRuns     *metrics.Counter // delta encodes actually executed
 	faultIns       *metrics.Counter // spilled classes faulted in from disk
+	graphDirect    *metrics.Counter // single-delta responses (graph depth 1 hop)
+	graphComposed  *metrics.Counter // composed-chain responses
+	graphFallback  *metrics.Counter // fulls forced by an aged-out client version
 }
 
 // Engine implements class-based delta-encoding. Create one with NewEngine;
@@ -567,6 +608,11 @@ type Engine struct {
 	cfg      Config
 	coder    *vdelta.Coder
 	classify *classify.Manager
+
+	// estimator is the light forward-only delta-size predictor that picks
+	// between a direct encode and a composed chain for lagging clients.
+	// Safe for concurrent use; its per-call state is pooled.
+	estimator *vdelta.Estimator
 
 	// cstore owns the class table (internal/store): an unbudgeted sharded
 	// map, or — with Config.MemBudget — a budgeted store that prunes and
@@ -604,6 +650,7 @@ type Engine struct {
 	tracer    *obs.Tracer
 	stageHist [obs.NumStages]*metrics.Histogram
 	procHist  *metrics.Histogram
+	chainHist *metrics.Histogram // segments per composed-chain response
 
 	// Per-class labeled metric families; each classState resolves its
 	// children once at creation.
@@ -632,9 +679,10 @@ func (e *Engine) getEncodeBuf() *encodeBuf {
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:   cfg,
-		coder: vdelta.NewCoder(cfg.Codec...),
-		reg:   metrics.NewRegistry(),
+		cfg:       cfg,
+		coder:     vdelta.NewCoder(cfg.Codec...),
+		estimator: vdelta.NewEstimator(),
+		reg:       metrics.NewRegistry(),
 	}
 	if cfg.MemBudget > 0 {
 		e.cstore = store.NewBudgeted(cfg.MemBudget, cfg.Now)
@@ -673,6 +721,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		memoCoalesced:  e.reg.Counter("memo.coalesced"),
 		encodeRuns:     e.reg.Counter("encode.runs"),
 		faultIns:       e.reg.Counter("store.faultins"),
+		graphDirect:    e.reg.Counter("graph.direct"),
+		graphComposed:  e.reg.Counter("graph.composed"),
+		graphFallback:  e.reg.Counter("graph.fallback"),
 	}
 	e.docSeed = maphash.MakeSeed()
 	if cfg.Mode == ModeClassBased {
@@ -701,6 +752,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.stageHist[st] = stageFam.With(st.String())
 	}
 	e.procHist = e.reg.Histogram("cbde_process_duration_seconds", latencyBuckets...)
+	// Chain length is segments per composed response: the client's lag in
+	// versions plus the tip delta. Buckets track the plausible graph depths.
+	e.chainHist = e.reg.Histogram("cbde_graph_chain_length", 1, 2, 3, 4, 6, 8, 12, 16)
 
 	e.famClassRequests = e.reg.CounterFamily("cbde_class_requests_total",
 		"Requests routed to the class.", "class")
@@ -738,6 +792,7 @@ func (e *Engine) newClassState(key string, class *classify.Class) *classState {
 		acct:  e.acct,
 		spill: e.spill,
 		bases: make(map[int]*baseVersion),
+		edges: make(map[int]*versionEdge),
 		ctr: classCounters{
 			requests:     e.famClassRequests.With(key),
 			deltaHits:    e.famClassHits.With(key),
@@ -896,6 +951,25 @@ func (e *Engine) Process(req Request) (Response, error) {
 		cs.ctr.deltaMisses.Inc()
 		cs.ctr.bytesShipped.Add(int64(len(req.Doc)))
 	}
+	// Version-graph serve accounting: every delta is either one hop
+	// (direct) or a composed chain; a full response counts as a graph
+	// fallback only when the client's advertised version aged out.
+	switch {
+	case resp.Kind == KindDelta && resp.Format == FormatVdeltaChain:
+		e.ctr.graphComposed.Inc()
+		cs.gComposed.Add(1)
+		if id := req.TraceCtx.ID; !id.IsZero() {
+			e.chainHist.ObserveExemplar(float64(resp.ChainLen), id.Hi, id.Lo, now.Unix())
+		} else {
+			e.chainHist.Observe(float64(resp.ChainLen))
+		}
+	case resp.Kind == KindDelta:
+		e.ctr.graphDirect.Inc()
+		cs.gDirect.Add(1)
+	case snap.heldStale:
+		e.ctr.graphFallback.Inc()
+		cs.gFallback.Add(1)
+	}
 	if sum := tr.Finish(); sum != nil {
 		e.observeTrace(sum)
 		resp.Trace = sum
@@ -1028,10 +1102,16 @@ func (e *Engine) advanceAnonymization(cs *classState, req Request, now time.Time
 	e.installBase(cs, cs.anonSource, anon, now)
 }
 
-// installBase records base as the class's distributable version v and
-// prunes old versions. Callers hold cs.mu; base must not be mutated after
-// the call (it becomes the immutable payload of a baseVersion).
+// installBase records base as the class's distributable version v, links
+// it into the version graph with an edge from the outgoing version, and
+// prunes versions beyond the graph depth. Callers hold cs.mu; base must
+// not be mutated after the call (it becomes the immutable payload of a
+// baseVersion).
 func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) {
+	// Build the graph edge before anything is pruned: the outgoing
+	// distributable version is the edge's source, and its bytes must still
+	// be resident to encode against.
+	e.buildEdgeLocked(cs, cs.distVersion, v, base)
 	cs.bases[v] = &baseVersion{bytes: base, cs: cs}
 	cs.addBase(int64(len(base)))
 	cs.distVersion = v
@@ -1045,20 +1125,24 @@ func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) 
 	if cs.class != nil {
 		cs.class.SetMatchBase(base)
 	}
-	// Keep the KeepBaseVersions highest version numbers. Counting versions
-	// rather than measuring numeric distance matters under per-node version
-	// striding (basefile.Config.VersionStride), where consecutive versions
-	// differ by the cluster size.
-	if len(cs.bases) > e.cfg.KeepBaseVersions {
+	// Keep the GraphDepth highest version numbers, dropping each pruned
+	// version's outgoing edge with it (edges into a pruned version always
+	// come from a lower — also pruned — version, so no dangling edges
+	// remain). Counting versions rather than measuring numeric distance
+	// matters under per-node version striding
+	// (basefile.Config.VersionStride), where consecutive versions differ by
+	// the cluster size.
+	if len(cs.bases) > e.cfg.GraphDepth {
 		versions := make([]int, 0, len(cs.bases))
 		for old := range cs.bases {
 			versions = append(versions, old)
 		}
 		sort.Ints(versions)
-		for _, old := range versions[:len(versions)-e.cfg.KeepBaseVersions] {
+		for _, old := range versions[:len(versions)-e.cfg.GraphDepth] {
 			obv := cs.bases[old]
 			delete(cs.bases, old)
 			obv.release()
+			cs.dropEdgeLocked(old)
 		}
 	}
 	// A version install is an invalidation barrier for the memo cache:
@@ -1070,26 +1154,69 @@ func (e *Engine) installBase(cs *classState, v int, base []byte, now time.Time) 
 }
 
 // encodeSnapshot captures, under the class lock, everything respond needs
-// so the delta encode can run unlocked.
+// so the delta encode can run unlocked. All referenced byte payloads
+// (base bytes, edge deltas) are immutable, so the snapshot stays valid
+// even if the graph is concurrently pruned or rebased.
 type encodeSnapshot struct {
 	distVersion   int          // distributable version at snapshot time
 	clientVersion int          // newest held version the server still stores
 	base          *baseVersion // base to encode against; nil → full response
+	// chain, when non-nil, is the version graph's edge walk from
+	// clientVersion up to distVersion, and tipBase is the current version's
+	// base — the composed-chain alternative to encoding directly against
+	// base. nil when the client is current or the walk is broken.
+	chain   []*versionEdge
+	tipBase *baseVersion
+	// heldStale reports that the client advertised a version for this class
+	// but none it holds is retained — the graph aged it out.
+	heldStale bool
 }
 
-// snapshotLocked picks the base-file version to delta against: the newest
-// version the client holds that the server still stores. Callers hold cs.mu.
+// snapshotLocked picks the base-file version to delta against — the newest
+// version the client holds that the server still stores — and, for a
+// lagging client, walks the version graph to capture the composed-chain
+// alternative. Callers hold cs.mu.
 func (cs *classState) snapshotLocked(req Request) encodeSnapshot {
 	snap := encodeSnapshot{distVersion: cs.distVersion}
 	if cs.distVersion == 0 {
 		// No distributable base yet (anonymization in progress).
 		return snap
 	}
+	held := false
 	req.forEachHeldVersion(cs.id, func(v int) {
+		held = true
 		if bv, ok := cs.bases[v]; ok && v > snap.clientVersion {
 			snap.clientVersion, snap.base = v, bv
 		}
 	})
+	if snap.base == nil {
+		snap.heldStale = held
+		return snap
+	}
+	if snap.clientVersion == cs.distVersion {
+		return snap
+	}
+	// Walk the edges from the client's version toward the current one. A
+	// gap (edge or endpoint missing — residue striding, a partial fault-in)
+	// leaves chain nil and the client gets a direct encode.
+	var chain []*versionEdge
+	for w := snap.clientVersion; w != cs.distVersion; {
+		ge := cs.edges[w]
+		if ge == nil {
+			return snap
+		}
+		if _, ok := cs.bases[ge.to]; !ok {
+			return snap
+		}
+		chain = append(chain, ge)
+		w = ge.to
+		if len(chain) > len(cs.edges) {
+			return snap // unreachable cycle guard
+		}
+	}
+	if tip, ok := cs.bases[cs.distVersion]; ok {
+		snap.chain, snap.tipBase = chain, tip
+	}
 	return snap
 }
 
@@ -1120,11 +1247,34 @@ func (e *Engine) respond(cs *classState, snap encodeSnapshot, req Request, now t
 	if format == 0 {
 		format = FormatVdelta
 	}
+	// A lagging client with an intact edge walk gets whichever of direct
+	// encode and composed chain the estimator predicts is smaller on the
+	// wire. Ties go to the chain: its edges are already encoded, so it
+	// skips the full-document direct encode entirely. Chains are vdelta
+	// framing; VCDIFF clients always encode direct.
+	if len(snap.chain) > 0 && format == FormatVdelta {
+		direct := e.estimator.Estimate(snap.base.bytes, req.Doc)
+		composed := e.estimator.Estimate(snap.tipBase.bytes, req.Doc)
+		for _, ge := range snap.chain {
+			composed += ge.rawLen
+		}
+		// An oversized *direct* delta for a lagging client is not content
+		// drift — the tip still matches the document — so when the direct
+		// estimate breaches the rebase ratio the chain serves even if it
+		// predicts larger, rather than letting one stale client trigger a
+		// spurious class-wide rebase.
+		if composed <= direct || float64(direct) > e.cfg.MaxDeltaRatio*float64(len(req.Doc)) {
+			return e.respondChain(cs, snap, req, now, tr)
+		}
+	}
 	if cs.deltas == nil {
 		return e.encodeResponse(cs, snap, req, format, now, tr)
 	}
 
 	t0 := tr.Now()
+	// Direct encodes use To 0: the target is the document itself, not a
+	// retained graph version (composed chains key (From, To); see
+	// respondChain).
 	key := deltacache.Key{
 		From:    snap.clientVersion,
 		DocHash: maphash.Bytes(e.docSeed, req.Doc),
@@ -1402,7 +1552,10 @@ func (e *Engine) Decode(base, payload []byte, gzipped bool) ([]byte, error) {
 	return e.DecodeAs(base, payload, gzipped, FormatVdelta)
 }
 
-// DecodeAs is Decode for an explicit wire format.
+// DecodeAs is Decode for an explicit wire format. For FormatVdeltaChain
+// the payload is a framed segment sequence (deltahttp.AppendChain): each
+// segment's delta is applied to the previous segment's output, starting
+// from base, and the last application yields the document.
 func (e *Engine) DecodeAs(base, payload []byte, gzipped bool, format Format) ([]byte, error) {
 	delta := payload
 	if gzipped {
@@ -1411,6 +1564,27 @@ func (e *Engine) DecodeAs(base, payload []byte, gzipped bool, format Format) ([]
 			return nil, fmt.Errorf("core: decompress delta: %w", err)
 		}
 		delta = d
+	}
+	if format == FormatVdeltaChain {
+		segs, err := deltahttp.ParseChain(delta)
+		if err != nil {
+			return nil, fmt.Errorf("core: parse delta chain: %w", err)
+		}
+		cur := base
+		for i, s := range segs {
+			d := s.Payload
+			if s.Gzipped {
+				d, err = gzipx.Decompress(d)
+				if err != nil {
+					return nil, fmt.Errorf("core: decompress chain segment %d: %w", i, err)
+				}
+			}
+			cur, err = e.coder.Decode(cur, d)
+			if err != nil {
+				return nil, fmt.Errorf("core: apply chain segment %d: %w", i, err)
+			}
+		}
+		return cur, nil
 	}
 	var doc []byte
 	var err error
@@ -1431,18 +1605,22 @@ func (e *Engine) DecodeAs(base, payload []byte, gzipped bool, format Format) ([]
 func (e *Engine) StoreStats() store.Stats { return e.cstore.Stats() }
 
 // BumpAnonEpoch advances the engine-wide anonymization epoch and purges
-// every class's memoized deltas. Call it when the anonymization policy (or
-// any input to it) changes out-of-band: cached payloads embed anonymized
-// base content and must not survive the change. Purging is eager here and
-// also lazy at lookup (the epoch is checked on every cache acquire), so a
-// cache that misses the eager sweep — e.g. a class created concurrently —
-// still never serves a pre-bump payload.
+// every class's memoized deltas and version-graph edges. Call it when the
+// anonymization policy (or any input to it) changes out-of-band: cached
+// payloads and edge deltas embed anonymized base content and must not
+// survive the change. Delta purging is eager here and also lazy at lookup
+// (the epoch is checked on every cache acquire), so a cache that misses
+// the eager sweep — e.g. a class created concurrently — still never
+// serves a pre-bump payload; edges have no lazy check, so the eager sweep
+// under each class lock is the invalidation.
 func (e *Engine) BumpAnonEpoch() {
 	e.anonEpoch.Add(1)
-	e.cstore.ForEach(func(_ string, ent store.Entry) bool {
-		ent.(*classState).purgeDeltas()
-		return true
-	})
+	for _, cs := range e.states() {
+		cs.mu.Lock()
+		cs.dropEdgesLocked()
+		cs.mu.Unlock()
+		cs.purgeDeltas()
+	}
 }
 
 // DeltaCacheStats aggregates the per-class delta memo caches for

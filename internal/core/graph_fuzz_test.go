@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cbde/internal/deltahttp"
+	"cbde/internal/gzipx"
+	"cbde/internal/vdelta"
+)
+
+// FuzzChainCompose proves the composed-chain identity the version graph
+// rests on: for any document history v0 → v1 → ... → vn, applying the
+// framed chain of per-hop deltas to v0 reproduces vn byte-for-byte —
+// exactly what a direct v0 → vn encode produces. Segment gzip flags are
+// exercised on alternating hops, matching the wire where each edge keeps
+// its own compression decision.
+func FuzzChainCompose(f *testing.F) {
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(3))
+	f.Add([]byte(""), uint8(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(5))
+	f.Add(bytes.Repeat([]byte("dynamic web content "), 50), uint8(2))
+
+	e, err := NewEngine(Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, seed []byte, hops uint8) {
+		n := int(hops)%4 + 1
+		vers := make([][]byte, n+1)
+		vers[0] = seed
+		for i := 1; i <= n; i++ {
+			vers[i] = mutateDoc(vers[i-1], i)
+		}
+		target := vers[n]
+
+		segs := make([]deltahttp.ChainSegment, 0, n)
+		for i := 0; i < n; i++ {
+			d, err := vdelta.Encode(vers[i], vers[i+1])
+			if err != nil {
+				t.Fatalf("encode hop %d: %v", i, err)
+			}
+			seg := deltahttp.ChainSegment{Payload: d}
+			if i%2 == 1 {
+				if c := gzipx.Compress(d); len(c) < len(d) {
+					seg = deltahttp.ChainSegment{Payload: c, Gzipped: true}
+				}
+			}
+			segs = append(segs, seg)
+		}
+		framed := deltahttp.AppendChain(nil, segs)
+
+		composed, err := e.DecodeAs(vers[0], framed, false, FormatVdeltaChain)
+		if err != nil {
+			t.Fatalf("decode chain: %v", err)
+		}
+		if !bytes.Equal(composed, target) {
+			t.Fatalf("composed chain mismatch: got %d bytes, want %d", len(composed), len(target))
+		}
+
+		// The direct encode must agree with the composition.
+		direct, err := vdelta.Encode(vers[0], target)
+		if err != nil {
+			t.Fatalf("direct encode: %v", err)
+		}
+		viaDirect, err := e.Decode(vers[0], direct, false)
+		if err != nil {
+			t.Fatalf("decode direct: %v", err)
+		}
+		if !bytes.Equal(viaDirect, composed) {
+			t.Fatal("direct and composed reconstructions disagree")
+		}
+	})
+}
+
+// mutateDoc derives the next document version deterministically from the
+// previous one: flip one byte and append a short incompressible section —
+// the edit shape (mostly shared content, localized change) base-file
+// deltas are built for.
+func mutateDoc(prev []byte, i int) []byte {
+	out := append([]byte(nil), prev...)
+	if len(out) > 0 {
+		out[(i*37)%len(out)] ^= 0x5a
+	}
+	return append(out, incompressible(uint64(i)*7+1, 64)...)
+}

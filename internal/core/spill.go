@@ -85,6 +85,15 @@ func (cs *classState) spillRecordLocked() *store.ClassRecord {
 	for v, bv := range cs.bases {
 		rec.Bases = append(rec.Bases, store.VersionedBlob{Version: v, Bytes: bv.bytes})
 	}
+	for _, ge := range cs.edges {
+		rec.Edges = append(rec.Edges, store.EdgeBlob{
+			From:    ge.from,
+			To:      ge.to,
+			Payload: ge.payload,
+			Gzipped: ge.gzipped,
+			RawLen:  ge.rawLen,
+		})
+	}
 	for _, d := range st.Candidates {
 		rec.Candidates = append(rec.Candidates, store.TaggedDoc{Tag: d.Tag, Bytes: d.Bytes})
 	}
@@ -151,6 +160,28 @@ func (e *Engine) faultIn(cs *classState, now time.Time) int64 {
 		if cs.class != nil {
 			cs.class.SetMatchBase(bv.bytes)
 		}
+	}
+	// Version-graph edges restore only when both endpoint versions made it
+	// back; a dangling edge would break the snapshot walk's invariants.
+	for _, eb := range rec.Edges {
+		if eb.From <= 0 || eb.To <= eb.From || len(eb.Payload) == 0 {
+			continue
+		}
+		if _, ok := cs.bases[eb.From]; !ok {
+			continue
+		}
+		if _, ok := cs.bases[eb.To]; !ok {
+			continue
+		}
+		cs.edges[eb.From] = &versionEdge{
+			from:    eb.From,
+			to:      eb.To,
+			payload: eb.Payload,
+			gzipped: eb.Gzipped,
+			rawLen:  eb.RawLen,
+		}
+		cs.addEdge(int64(len(eb.Payload)))
+		restored += int64(len(eb.Payload))
 	}
 	// Selector samples and base re-charge the ledger through the
 	// selector's OnStoredBytes callback; the version counter merges as a

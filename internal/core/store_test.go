@@ -59,7 +59,7 @@ func TestBudgetEnforcedUnderChurn(t *testing.T) {
 
 		if resp.Kind == KindDelta {
 			h := held[dept]
-			got, err := e.Decode(h.base, resp.Payload, resp.Gzipped)
+			got, err := e.DecodeAs(h.base, resp.Payload, resp.Gzipped, resp.Format)
 			if err != nil {
 				t.Fatalf("request %d: decode delta: %v", i, err)
 			}
@@ -309,7 +309,7 @@ func TestConcurrentProcessEvictSave(t *testing.T) {
 						t.Errorf("delta against version %d, client holds %d", resp.BaseVersion, h.version)
 						return
 					}
-					got, err := e.Decode(h.base, resp.Payload, resp.Gzipped)
+					got, err := e.DecodeAs(h.base, resp.Payload, resp.Gzipped, resp.Format)
 					if err != nil {
 						t.Errorf("decode delta under churn: %v", err)
 						return

@@ -55,14 +55,19 @@ const (
 	OutcomeTooBig
 )
 
-// Key identifies one memoizable encode. From is the base version the
-// client holds; DocHash/DocLen fingerprint the current document content
-// (the "to" side — documents arrive per-request, so content stands in for
-// a version number); Format is the wire format (vdelta/VCDIFF). The
-// anonymization epoch is deliberately not part of the key: an epoch bump
-// invalidates the whole cache instead (see Acquire).
+// Key identifies one memoizable encode as an explicit (From, To) version
+// edge. From is the base version the client holds; To is the retained base
+// version the encode targets — 0 for a direct encode against From's own
+// bytes, or the graph's current version for a composed chain whose cached
+// edges rewrite From up to To. DocHash/DocLen fingerprint the current
+// document content (the final hop — documents arrive per-request, so
+// content stands in for a version number); Format is the wire format
+// (vdelta/VCDIFF/chain). The anonymization epoch is deliberately not part
+// of the key: an epoch bump invalidates the whole cache instead (see
+// Acquire).
 type Key struct {
 	From    int
+	To      int
 	DocHash uint64
 	DocLen  int
 	Format  uint8

@@ -50,6 +50,18 @@ func WithVCDIFF() Option {
 	return func(cl *Client) { cl.useVCDIFF = true }
 }
 
+// WithRefreshLag installs a hook that picks which base-file version to
+// fetch when the server announces a newer one than the client holds. The
+// hook receives the announced latest version and returns the version to
+// fetch; results are clamped to [1, latest]. It models a lagging client
+// population — browsers that refresh their cached base-file some versions
+// behind the server's current one — which is what the server's version
+// graph exists to serve. If the lagged version has aged out of the
+// server's retention window the client falls back to fetching the latest.
+func WithRefreshLag(f func(latest int) int) Option {
+	return func(cl *Client) { cl.refreshLag = f }
+}
+
 // heldBase is a base-file in the client's cache.
 type heldBase struct {
 	version  int
@@ -61,7 +73,8 @@ type heldBase struct {
 // bandwidth story.
 type Stats struct {
 	Requests       int   // document requests issued
-	DeltaResponses int   // responses that arrived as deltas
+	DeltaResponses int   // responses that arrived as deltas (incl. chains)
+	ChainResponses int   // delta responses that arrived as composed chains
 	FullResponses  int   // responses that arrived as full documents
 	PayloadBytes   int64 // body bytes received for documents (deltas + fulls)
 	BaseFetches    int   // base-file downloads
@@ -75,10 +88,11 @@ const maxAdvertisedBases = 32
 
 // Client is a delta-capable HTTP client. It is safe for concurrent use.
 type Client struct {
-	serverURL string
-	http      *http.Client
-	user      string
-	useVCDIFF bool
+	serverURL  string
+	http       *http.Client
+	user       string
+	useVCDIFF  bool
+	refreshLag func(latest int) int
 
 	maxBaseBytes int64
 
@@ -176,35 +190,98 @@ func (c *Client) Get(path string) ([]byte, error) {
 		c.mu.Unlock()
 		doc = body
 	case deltahttp.EncodingVdelta, deltahttp.EncodingVdeltaGzip,
-		deltahttp.EncodingVCDIFF, deltahttp.EncodingVCDIFFGzip:
+		deltahttp.EncodingVCDIFF, deltahttp.EncodingVCDIFFGzip,
+		deltahttp.EncodingVdeltaChain:
 		baseVersion, err := strconv.Atoi(resp.Header.Get(deltahttp.HeaderBaseVersion))
 		if err != nil {
 			return nil, fmt.Errorf("deltaclient: delta response lacks a base version")
 		}
-		gzipped := enc == deltahttp.EncodingVdeltaGzip || enc == deltahttp.EncodingVCDIFFGzip
-		isVCDIFF := enc == deltahttp.EncodingVCDIFF || enc == deltahttp.EncodingVCDIFFGzip
-		doc, err = c.reconstruct(gotClass, baseVersion, body, gzipped, isVCDIFF)
+		if enc == deltahttp.EncodingVdeltaChain {
+			doc, err = c.reconstructChain(gotClass, baseVersion, body)
+		} else {
+			gzipped := enc == deltahttp.EncodingVdeltaGzip || enc == deltahttp.EncodingVCDIFFGzip
+			isVCDIFF := enc == deltahttp.EncodingVCDIFF || enc == deltahttp.EncodingVCDIFFGzip
+			doc, err = c.reconstruct(gotClass, baseVersion, body, gzipped, isVCDIFF)
+		}
 		if err != nil {
 			return nil, err
 		}
 		c.mu.Lock()
 		c.stats.DeltaResponses++
+		if enc == deltahttp.EncodingVdeltaChain {
+			c.stats.ChainResponses++
+		}
 		c.mu.Unlock()
 	default:
 		return nil, fmt.Errorf("deltaclient: unknown payload encoding %q", enc)
 	}
 
 	// Refresh the base-file when the server advertises a newer version, so
-	// future requests are served as deltas against a fresh base.
+	// future requests are served as deltas against a fresh base. A
+	// refresh-lag hook may pick an older retained version instead.
 	if gotClass != "" && latest > 0 && latest > c.HeldVersion(gotClass) {
-		if err := c.FetchBase(gotClass, latest); err != nil {
-			// Base distribution failing is not fatal for this response: the
-			// document is already reconstructed. Surface it anyway so
-			// callers notice persistent distribution problems.
-			return doc, fmt.Errorf("deltaclient: refresh base for %s: %w", gotClass, err)
+		target := latest
+		if c.refreshLag != nil {
+			if t := c.refreshLag(latest); t < target {
+				target = t
+			}
+			if target < 1 {
+				target = 1
+			}
+		}
+		if target > c.HeldVersion(gotClass) {
+			err := c.FetchBase(gotClass, target)
+			if err != nil && target != latest {
+				// The lagged version may have aged out of the server's
+				// retention window; take the current one rather than leave
+				// the client baseless.
+				err = c.FetchBase(gotClass, latest)
+			}
+			if err != nil {
+				// Base distribution failing is not fatal for this response:
+				// the document is already reconstructed. Surface it anyway
+				// so callers notice persistent distribution problems.
+				return doc, fmt.Errorf("deltaclient: refresh base for %s: %w", gotClass, err)
+			}
 		}
 	}
 	return doc, nil
+}
+
+// reconstructChain applies a composed chained-delta response: each framed
+// segment rewrites the working document one version forward, starting from
+// the held base-file and ending at the current document.
+func (c *Client) reconstructChain(classID string, version int, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	held, ok := c.bases[classID]
+	if ok {
+		c.useSeq++
+		held.lastUsed = c.useSeq
+		c.bases[classID] = held
+	}
+	c.mu.Unlock()
+	if !ok || held.version != version {
+		return nil, fmt.Errorf("deltaclient: server sent chain against %s v%d which the client does not hold", classID, version)
+	}
+	segs, err := deltahttp.ParseChain(payload)
+	if err != nil {
+		return nil, fmt.Errorf("deltaclient: parse delta chain: %w", err)
+	}
+	cur := held.data
+	for i, s := range segs {
+		d := s.Payload
+		if s.Gzipped {
+			d, err = gzipx.Decompress(d)
+			if err != nil {
+				return nil, fmt.Errorf("deltaclient: decompress chain segment %d: %w", i, err)
+			}
+		}
+		cur, err = vdelta.Decode(cur, d)
+		if err != nil {
+			return nil, fmt.Errorf("deltaclient: apply chain segment %d: %w", i, err)
+		}
+	}
+	return cur, nil
 }
 
 // reconstruct applies a delta response to the held base-file.

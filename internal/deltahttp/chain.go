@@ -1,0 +1,88 @@
+// Chained-delta payload framing (EncodingVdeltaChain).
+//
+// A chain payload is:
+//
+//	uvarint segmentCount, then per segment:
+//	    one flag byte (0 raw, 1 gzip-compressed)
+//	    uvarint payloadLen
+//	    payloadLen bytes of vdelta instruction stream (gzipped when flagged)
+//
+// Segments are ordered client→current: applying segment i to the document
+// produced by segment i-1 (starting from the base version named by
+// X-CBDE-Base-Version) yields the next retained version's base bytes, and
+// the last segment yields the requested document. The framing is pure
+// stdlib so every layer — server, client, core — can share it.
+package deltahttp
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ChainSegment is one delta in a chained payload, stored exactly as framed.
+type ChainSegment struct {
+	Payload []byte
+	Gzipped bool
+}
+
+const (
+	chainSegRaw  = 0
+	chainSegGzip = 1
+
+	// maxChainSegments and maxChainSegment bound decode allocations against
+	// corrupt or adversarial payloads. 255 segments is far past any sane
+	// graph depth; 1 GiB per segment matches the spill codec's section cap.
+	maxChainSegments = 255
+	maxChainSegment  = 1 << 30
+)
+
+var errBadChain = errors.New("deltahttp: malformed chain payload")
+
+// AppendChain frames segs into dst and returns the extended slice.
+func AppendChain(dst []byte, segs []ChainSegment) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(segs)))
+	for _, s := range segs {
+		flag := byte(chainSegRaw)
+		if s.Gzipped {
+			flag = chainSegGzip
+		}
+		dst = append(dst, flag)
+		dst = binary.AppendUvarint(dst, uint64(len(s.Payload)))
+		dst = append(dst, s.Payload...)
+	}
+	return dst
+}
+
+// ParseChain decodes a chain payload. Segment payloads alias the input
+// buffer; callers that outlive it must copy. Trailing garbage, truncated
+// segments, unknown flags, and absurd counts are all errors — a confused
+// client must fail closed and refetch, never apply a half-parsed chain.
+func ParseChain(payload []byte) ([]ChainSegment, error) {
+	count, n := binary.Uvarint(payload)
+	if n <= 0 || count == 0 || count > maxChainSegments {
+		return nil, errBadChain
+	}
+	rest := payload[n:]
+	segs := make([]ChainSegment, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 1 {
+			return nil, errBadChain
+		}
+		flag := rest[0]
+		if flag != chainSegRaw && flag != chainSegGzip {
+			return nil, errBadChain
+		}
+		rest = rest[1:]
+		segLen, n := binary.Uvarint(rest)
+		if n <= 0 || segLen > maxChainSegment || segLen > uint64(len(rest)-n) {
+			return nil, errBadChain
+		}
+		rest = rest[n:]
+		segs = append(segs, ChainSegment{Payload: rest[:segLen], Gzipped: flag == chainSegGzip})
+		rest = rest[segLen:]
+	}
+	if len(rest) != 0 {
+		return nil, errBadChain
+	}
+	return segs, nil
+}

@@ -1,0 +1,56 @@
+package deltahttp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChainRoundTrip(t *testing.T) {
+	want := []ChainSegment{
+		{Payload: []byte("edge one"), Gzipped: true},
+		{Payload: []byte{}, Gzipped: false},
+		{Payload: bytes.Repeat([]byte("tip"), 100), Gzipped: false},
+	}
+	framed := AppendChain(nil, want)
+	got, err := ParseChain(framed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Gzipped != want[i].Gzipped || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+}
+
+func TestChainRejectsMalformed(t *testing.T) {
+	framed := AppendChain(nil, []ChainSegment{
+		{Payload: []byte("first"), Gzipped: false},
+		{Payload: []byte("second"), Gzipped: true},
+	})
+	cases := map[string][]byte{
+		"empty":            nil,
+		"zero count":       {0},
+		"huge count":       {0xFF, 0xFF, 0x10},
+		"bad flag":         {1, 7, 0},
+		"truncated length": {1, 0},
+		"short segment":    {1, 0, 10, 'a', 'b'},
+		"trailing garbage": append(append([]byte{}, framed...), 'x'),
+	}
+	for name, in := range cases {
+		if segs, err := ParseChain(in); err == nil {
+			t.Fatalf("%s: parsed without error (%d segments)", name, len(segs))
+		}
+	}
+	// Every proper prefix of a valid framing must error: a prefix that
+	// happens to contain fewer complete segments still fails the
+	// count/trailing-bytes checks.
+	for n := 0; n < len(framed); n++ {
+		if _, err := ParseChain(framed[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes parsed without error", n)
+		}
+	}
+}

@@ -47,6 +47,9 @@ const (
 	HeaderLatestVersion = "X-CBDE-Latest-Version"
 	// HeaderEncoding describes the payload encoding of a delta response.
 	HeaderEncoding = "X-CBDE-Encoding"
+	// HeaderChainLength is the number of segments in an EncodingVdeltaChain
+	// payload (informational; the framing is self-describing).
+	HeaderChainLength = "X-CBDE-Chain-Length"
 )
 
 // Cluster headers.
@@ -76,6 +79,11 @@ const (
 	EncodingVCDIFF = "vcdiff"
 	// EncodingVCDIFFGzip is a gzip-compressed VCDIFF stream.
 	EncodingVCDIFFGzip = "vcdiff+gzip"
+	// EncodingVdeltaChain is a framed sequence of vdelta deltas (see
+	// AppendChain) the client applies in order: segment 1 rewrites the held
+	// base to the next retained version, and so on up the class's version
+	// graph; the final segment rewrites the newest base into the document.
+	EncodingVdeltaChain = "vdelta-chain"
 )
 
 // AcceptsVCDIFF reports whether an HeaderAccept value includes VCDIFF.

@@ -305,11 +305,13 @@ func (s *Server) serveStats(w http.ResponseWriter, r *http.Request) {
 
 // serveStore serves the storage-governance snapshot: budget, resident
 // bytes by kind, resident/tracked class counts, the recent prune/evict
-// log, the delta memo-cache summary, and the disk tier. The store.Stats
-// fields stay at the top level (CI's store-smoke job asserts on them); the
-// cache summary rides along under "deltaCache" (CI's memo-smoke job) and
-// the disk tier under "disk" (CI's spill-smoke job; Enabled false when the
-// server runs without -spill-dir, so tooling can feature-detect it).
+// log, the delta memo-cache summary, the version-graph summary, and the
+// disk tier. The store.Stats fields stay at the top level (CI's
+// store-smoke job asserts on them); the cache summary rides along under
+// "deltaCache" (CI's memo-smoke job), the graph under "graph" (CI's
+// graph-smoke job), and the disk tier under "disk" (CI's spill-smoke job;
+// Enabled false when the server runs without -spill-dir, so tooling can
+// feature-detect it).
 func (s *Server) serveStore(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
@@ -317,8 +319,9 @@ func (s *Server) serveStore(w http.ResponseWriter) {
 	_ = enc.Encode(struct {
 		store.Stats
 		DeltaCache core.DeltaCacheStats `json:"deltaCache"`
+		Graph      core.GraphStats      `json:"graph"`
 		Disk       store.TierStats      `json:"disk"`
-	}{s.engine.StoreStats(), s.engine.DeltaCacheStats(), s.engine.SpillStats()})
+	}{s.engine.StoreStats(), s.engine.DeltaCacheStats(), s.engine.GraphStats(), s.engine.SpillStats()})
 }
 
 // serveMetrics serves the engine's registry as Prometheus text exposition —
@@ -708,6 +711,11 @@ func (s *Server) serveDocumentLocal(w http.ResponseWriter, r *http.Request, rec 
 	if resp.Kind == core.KindDelta {
 		enc := deltahttp.EncodingVdelta
 		switch {
+		case resp.Format == core.FormatVdeltaChain:
+			// Chain framing carries per-segment gzip flags, so the payload
+			// itself is never wrapped in an outer gzip layer.
+			enc = deltahttp.EncodingVdeltaChain
+			h.Set(deltahttp.HeaderChainLength, strconv.Itoa(resp.ChainLen))
 		case resp.Format == core.FormatVCDIFF && resp.Gzipped:
 			enc = deltahttp.EncodingVCDIFFGzip
 		case resp.Format == core.FormatVCDIFF:

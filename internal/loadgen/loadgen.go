@@ -52,6 +52,15 @@ type Config struct {
 	// cached-path responses against plain re-fetches — the memoization
 	// correctness mode. 0 (default) rotates every request, as before.
 	RepeatRatio float64
+	// LagMean, when positive, makes clients refresh their base-files
+	// behind the server's announced latest version: each refresh draws a
+	// staleness from a geometric distribution with this mean and fetches
+	// max(1, latest-lag) instead of latest. Lagging clients exercise the
+	// server's version graph — they are served direct old-version deltas
+	// or composed chains, and with Verify every reconstruction is still
+	// byte-compared against a plain fetch. 0 (default) refreshes to the
+	// latest version, as before.
+	LagMean float64
 	// DiurnalCycles, when positive, splits Paths into two halves and
 	// alternates each client between them that many times over its run — a
 	// compressed diurnal traffic pattern. Classes in the idle half go cold
@@ -100,6 +109,7 @@ type Result struct {
 	PayloadBytes   int64 // body bytes over the wire (deltas + fulls)
 	BaseBytes      int64 // base-file bytes downloaded
 	DeltaResponses int
+	ChainResponses int // delta responses that arrived as composed chains
 	FullResponses  int
 
 	// Mismatches counts documents whose delta-path reconstruction differed
@@ -136,6 +146,9 @@ func (r Result) String() string {
 		r.LatencyP50.Round(time.Microsecond), r.LatencyP90.Round(time.Microsecond), r.LatencyP95.Round(time.Microsecond), r.LatencyP99.Round(time.Microsecond),
 		r.PayloadBytes/1024, r.BaseBytes/1024, r.DocumentBytes/1024, r.Savings()*100,
 		r.DeltaResponses, r.FullResponses)
+	if r.ChainResponses > 0 {
+		s += fmt.Sprintf(" (%d chained)", r.ChainResponses)
+	}
 	if r.Mismatches > 0 {
 		s += fmt.Sprintf("\nVERIFY FAILED: %d document mismatches", r.Mismatches)
 	}
@@ -165,11 +178,19 @@ func Run(cfg Config) (Result, error) {
 			if cfg.VCDIFF {
 				opts = append(opts, deltaclient.WithVCDIFF())
 			}
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			if cfg.LagMean > 0 {
+				// The hook runs on this client's goroutine (deltaclient.Get
+				// is synchronous), so sharing rng with the repeat draw below
+				// is race-free.
+				opts = append(opts, deltaclient.WithRefreshLag(func(latest int) int {
+					return latest - geometric(rng, cfg.LagMean)
+				}))
+			}
 			cl := deltaclient.New(server, opts...)
 
 			var docBytes int64
 			errs, mismatches := 0, 0
-			rng := rand.New(rand.NewSource(int64(c) + 1))
 			// Diurnal mode rotates within alternating halves of the path
 			// set; half switches happen 2*DiurnalCycles times per run so
 			// each half sees DiurnalCycles active phases.
@@ -222,6 +243,7 @@ func Run(cfg Config) (Result, error) {
 			res.PayloadBytes += st.PayloadBytes
 			res.BaseBytes += st.BaseBytes
 			res.DeltaResponses += st.DeltaResponses
+			res.ChainResponses += st.ChainResponses
 			res.FullResponses += st.FullResponses
 			res.Mismatches += mismatches
 			mu.Unlock()
@@ -237,6 +259,20 @@ func Run(cfg Config) (Result, error) {
 	res.LatencyP95 = time.Duration(qs[2])
 	res.LatencyP99 = time.Duration(qs[3])
 	return res, nil
+}
+
+// geometric draws a geometrically distributed staleness (0, 1, 2, ...)
+// with the given mean: the number of failures before the first success at
+// p = 1/(1+mean). Most refreshes land near the latest version with an
+// exponentially thinning tail of deep laggards — the shape of a client
+// population that refreshes on its own schedule.
+func geometric(rng *rand.Rand, mean float64) int {
+	p := 1 / (1 + mean)
+	n := 0
+	for rng.Float64() >= p && n < 1<<10 {
+		n++
+	}
+	return n
 }
 
 // fetchPlain fetches a document as a non-capable client would: no delta

@@ -12,9 +12,14 @@
 //	    ascending chain, delta from the previous version), body(bytes)
 //	uvarint candCount, then per candidate: uvarint tagLen, tag, body
 //	uvarint refCount, same shape as candidates
+//	(v2 records only) uvarint edgeCount, then per edge: uvarint from,
+//	    uvarint to, one flag byte (1 = payload is gzip-compressed on the
+//	    wire), uvarint rawLen, uvarint payloadLen, payload bytes verbatim
 //
 // where body is: one flag byte (0 raw, 1 gzip), uvarint rawLen, then
 // either rawLen raw bytes or uvarint storedLen + storedLen gzip bytes.
+// Edge payloads are stored verbatim — they are wire-ready deltas,
+// typically already gzipped, so the codec never recompresses them.
 // Bodies are gzipped through the pooled internal/gzipx writers and only
 // kept compressed when that is actually smaller. Encode and decode
 // scratch is pooled so spilling does not disturb the warm-path alloc
@@ -43,6 +48,19 @@ type TaggedDoc struct {
 	Bytes []byte
 }
 
+// EdgeBlob is one version-graph edge delta inside a ClassRecord: the
+// wire-ready delta that rewrites base version From into base version To.
+// Payload is stored exactly as it would be served (Gzipped reports whether
+// it is gzip-compressed; RawLen is the uncompressed delta length, used by
+// the chain-size estimator).
+type EdgeBlob struct {
+	From    int
+	To      int
+	Payload []byte
+	Gzipped bool
+	RawLen  int
+}
+
 // ClassRecord is the spillable state of one class: everything needed to
 // fault the class back in and resume serving deltas against the versions
 // clients already hold. Grouping state is deliberately not included — a
@@ -57,6 +75,7 @@ type ClassRecord struct {
 	Bases           []VersionedBlob // ascending Version
 	Candidates      []TaggedDoc
 	Refs            []TaggedDoc
+	Edges           []EdgeBlob // version-graph edges between retained bases
 }
 
 // MemoryBytes reports the payload bytes the record would re-charge to the
@@ -71,6 +90,9 @@ func (r *ClassRecord) MemoryBytes() int64 {
 	}
 	for _, c := range r.Refs {
 		n += int64(len(c.Bytes))
+	}
+	for _, e := range r.Edges {
+		n += int64(len(e.Payload))
 	}
 	return n
 }
@@ -157,6 +179,22 @@ func appendRecordPayload(dst []byte, rec *ClassRecord) ([]byte, error) {
 			dst = appendString(dst, d.Tag)
 			dst = appendBody(dst, d.Bytes)
 		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Edges)))
+	for _, e := range rec.Edges {
+		if e.From < 0 || e.To < 0 || e.RawLen < 0 {
+			return dst, errors.New("store: negative edge field in spill record")
+		}
+		dst = binary.AppendUvarint(dst, uint64(e.From))
+		dst = binary.AppendUvarint(dst, uint64(e.To))
+		flag := byte(bodyRaw)
+		if e.Gzipped {
+			flag = bodyGzip
+		}
+		dst = append(dst, flag)
+		dst = binary.AppendUvarint(dst, uint64(e.RawLen))
+		dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
+		dst = append(dst, e.Payload...)
 	}
 	return dst, nil
 }
@@ -257,9 +295,11 @@ func (c *cursor) body() []byte {
 	}
 }
 
-// decodeRecordPayload parses one record payload. The input buffer may be
-// pooled: all returned byte slices are freshly allocated.
-func decodeRecordPayload(data []byte) (ClassRecord, error) {
+// decodeRecordPayload parses one record payload. hasEdges selects the v2
+// layout (CBS2 framing), which appends an edges section after the refs;
+// v1 payloads end at the refs and decode to an edge-less record. The input
+// buffer may be pooled: all returned byte slices are freshly allocated.
+func decodeRecordPayload(data []byte, hasEdges bool) (ClassRecord, error) {
 	c := &cursor{b: data}
 	var rec ClassRecord
 	rec.Key = c.str()
@@ -282,6 +322,35 @@ func decodeRecordPayload(data []byte) (ClassRecord, error) {
 		n := c.length()
 		for i := 0; i < n && !c.bad; i++ {
 			*dst = append(*dst, TaggedDoc{Tag: c.str(), Bytes: c.body()})
+		}
+	}
+	if hasEdges {
+		nEdges := c.length()
+		for i := 0; i < nEdges && !c.bad; i++ {
+			var e EdgeBlob
+			e.From = int(c.uvarint())
+			e.To = int(c.uvarint())
+			switch c.byte() {
+			case bodyRaw:
+			case bodyGzip:
+				e.Gzipped = true
+			default:
+				c.fail()
+			}
+			rawLen := c.uvarint()
+			if rawLen > maxSpillSection {
+				c.fail()
+			}
+			e.RawLen = int(rawLen)
+			stored := c.take(c.length())
+			if c.bad {
+				break
+			}
+			if len(stored) > 0 {
+				e.Payload = make([]byte, len(stored))
+				copy(e.Payload, stored)
+			}
+			rec.Edges = append(rec.Edges, e)
 		}
 	}
 	if c.bad || rec.Key == "" || c.off != len(data) {

@@ -41,7 +41,12 @@ import (
 )
 
 const (
+	// spillMagic frames v1 records (no edges section); spillMagicV2 frames
+	// v2 records, whose payload carries the version-graph edges after the
+	// refs. Appends always write v2; both decode, so a spill directory
+	// written by an older build recovers losslessly (to edge-less classes).
 	spillMagic          = "CBS1"
+	spillMagicV2        = "CBS2"
 	segmentPattern      = "spill-%08d.seg"
 	defaultSegmentBytes = 4 << 20
 	maxSpillPayload     = 1 << 30
@@ -185,7 +190,7 @@ func (t *Tier) scanSegment(seg *segment) {
 		if _, err := io.ReadFull(cr, magic[:]); err != nil {
 			break
 		}
-		if string(magic[:]) != spillMagic {
+		if string(magic[:]) != spillMagic && string(magic[:]) != spillMagicV2 {
 			break
 		}
 		payloadLen, err := binary.ReadUvarint(cr)
@@ -238,7 +243,7 @@ func (t *Tier) Append(rec ClassRecord) error {
 
 	out := getScratch()
 	defer putScratch(out)
-	b := append(out.buf[:0], spillMagic...)
+	b := append(out.buf[:0], spillMagicV2...)
 	b = binary.AppendUvarint(b, uint64(len(payload)))
 	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
 	b = append(b, payload...)
@@ -371,7 +376,16 @@ func (t *Tier) Take(key string) (ClassRecord, bool) {
 		return ClassRecord{}, false
 	}
 
-	if len(b) < len(spillMagic) || string(b[:len(spillMagic)]) != spillMagic {
+	if len(b) < len(spillMagic) {
+		t.errs.Add(1)
+		return ClassRecord{}, false
+	}
+	hasEdges := false
+	switch string(b[:len(spillMagic)]) {
+	case spillMagic:
+	case spillMagicV2:
+		hasEdges = true
+	default:
 		t.errs.Add(1)
 		return ClassRecord{}, false
 	}
@@ -392,7 +406,7 @@ func (t *Tier) Take(key string) (ClassRecord, bool) {
 		t.errs.Add(1)
 		return ClassRecord{}, false
 	}
-	rec, err := decodeRecordPayload(payload)
+	rec, err := decodeRecordPayload(payload, hasEdges)
 	if err != nil {
 		t.errs.Add(1)
 		return ClassRecord{}, false

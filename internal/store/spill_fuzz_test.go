@@ -41,12 +41,21 @@ func FuzzSpillRoundTrip(f *testing.F) {
 		for i := 0; i < int(nRefs%8); i++ {
 			rec.Refs = append(rec.Refs, TaggedDoc{Tag: string(doc(i)), Bytes: doc(i + 200)})
 		}
+		for i := 0; i+1 < len(rec.Bases); i++ {
+			rec.Edges = append(rec.Edges, EdgeBlob{
+				From:    rec.Bases[i].Version,
+				To:      rec.Bases[i+1].Version,
+				Payload: doc(i + 300),
+				Gzipped: i%2 == 0,
+				RawLen:  len(doc(i + 300)),
+			})
+		}
 
 		payload, err := appendRecordPayload(nil, &rec)
 		if err != nil {
 			t.Fatalf("encode rejected a well-formed record: %v", err)
 		}
-		got, err := decodeRecordPayload(payload)
+		got, err := decodeRecordPayload(payload, true)
 		if err != nil {
 			t.Fatalf("decode of fresh payload failed: %v", err)
 		}
@@ -76,11 +85,21 @@ func FuzzSpillRoundTrip(f *testing.F) {
 				t.Fatalf("candidate %d not identical", i)
 			}
 		}
+		if len(got.Edges) != len(rec.Edges) {
+			t.Fatalf("edge count %d != %d", len(got.Edges), len(rec.Edges))
+		}
+		for i := range rec.Edges {
+			g, w := got.Edges[i], rec.Edges[i]
+			if g.From != w.From || g.To != w.To || g.Gzipped != w.Gzipped || g.RawLen != w.RawLen || !bytes.Equal(g.Payload, w.Payload) {
+				t.Fatalf("edge %d not identical", i)
+			}
+		}
 
 		// Decoding arbitrary bytes must never panic; errors are fine.
-		decodeRecordPayload(seed)
+		decodeRecordPayload(seed, true)
+		decodeRecordPayload(seed, false)
 		if len(payload) > 1 {
-			decodeRecordPayload(payload[:len(payload)/2])
+			decodeRecordPayload(payload[:len(payload)/2], true)
 		}
 	})
 }

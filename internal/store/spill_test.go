@@ -23,6 +23,9 @@ func testRecord(key string, ver int) ClassRecord {
 		},
 		Candidates: []TaggedDoc{{Tag: "c1", Bytes: []byte("candidate one body")}},
 		Refs:       []TaggedDoc{{Tag: "r1", Bytes: bytes.Repeat([]byte("ref "), 25)}},
+		Edges: []EdgeBlob{
+			{From: ver - 1, To: ver, Payload: []byte("edge-delta-" + key), Gzipped: true, RawLen: 64},
+		},
 	}
 }
 
@@ -57,6 +60,15 @@ func recordsEqual(t *testing.T, got, want ClassRecord) {
 			}
 		}
 	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("got %d edges, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range want.Edges {
+		g, w := got.Edges[i], want.Edges[i]
+		if g.From != w.From || g.To != w.To || g.Gzipped != w.Gzipped || g.RawLen != w.RawLen || !bytes.Equal(g.Payload, w.Payload) {
+			t.Fatalf("edge %d mismatch: got %+v want %+v", i, g, w)
+		}
+	}
 }
 
 func TestBlobRoundTrip(t *testing.T) {
@@ -74,13 +86,41 @@ func TestBlobRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := decodeRecordPayload(payload)
+	got, err := decodeRecordPayload(payload, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	recordsEqual(t, got, want)
 	if want.MemoryBytes() != got.MemoryBytes() {
 		t.Fatalf("memory bytes changed across round trip: %d != %d", want.MemoryBytes(), got.MemoryBytes())
+	}
+}
+
+// TestBlobV1BackCompat proves a pre-edges (CBS1) payload — exactly the v2
+// payload truncated before the edges section — still decodes to a working
+// edge-less record under the v1 layout, and that the strict end-of-payload
+// check rejects the same bytes when read as v2.
+func TestBlobV1BackCompat(t *testing.T) {
+	want := testRecord("www.shop.com/laptops#1", 7)
+	noEdges := want
+	noEdges.Edges = nil
+	v1, err := appendRecordPayload(nil, &noEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A v1 writer stopped after the refs: strip the empty edges section the
+	// v2 encoder appended (a single zero-count uvarint byte).
+	if v1[len(v1)-1] != 0 {
+		t.Fatalf("expected trailing zero edge count, got %#x", v1[len(v1)-1])
+	}
+	v1 = v1[:len(v1)-1]
+	got, err := decodeRecordPayload(v1, false)
+	if err != nil {
+		t.Fatalf("v1 payload failed to decode under v1 layout: %v", err)
+	}
+	recordsEqual(t, got, noEdges)
+	if _, err := decodeRecordPayload(v1, true); err == nil {
+		t.Fatal("v1 payload decoded as v2 without error")
 	}
 }
 
@@ -98,7 +138,7 @@ func TestBlobRejectsBadRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	for n := 0; n < len(payload); n++ {
-		if _, err := decodeRecordPayload(payload[:n]); err == nil {
+		if _, err := decodeRecordPayload(payload[:n], true); err == nil {
 			t.Fatalf("truncation to %d bytes decoded without error", n)
 		}
 	}

@@ -44,6 +44,9 @@ type Usage struct {
 	// DeltaBytes is memoized compressed-delta bytes retained by the
 	// per-class delta caches.
 	DeltaBytes int64 `json:"deltaBytes"`
+	// EdgeBytes is version-graph edge-delta bytes: cached deltas between
+	// adjacent retained base versions, reused to compose chains.
+	EdgeBytes int64 `json:"edgeBytes"`
 	// Total is the sum of the categories.
 	Total int64 `json:"total"`
 }
@@ -56,6 +59,7 @@ type Accountant struct {
 	cand  atomic.Int64
 	index atomic.Int64
 	delta atomic.Int64
+	edge  atomic.Int64
 }
 
 // AddBase adjusts the distributable base-version byte count.
@@ -70,9 +74,12 @@ func (a *Accountant) AddIndex(delta int64) { a.index.Add(delta) }
 // AddDelta adjusts the memoized-delta byte count.
 func (a *Accountant) AddDelta(delta int64) { a.delta.Add(delta) }
 
+// AddEdge adjusts the version-graph edge-delta byte count.
+func (a *Accountant) AddEdge(delta int64) { a.edge.Add(delta) }
+
 // Total returns the resident byte total across all categories.
 func (a *Accountant) Total() int64 {
-	return a.base.Load() + a.cand.Load() + a.index.Load() + a.delta.Load()
+	return a.base.Load() + a.cand.Load() + a.index.Load() + a.delta.Load() + a.edge.Load()
 }
 
 // Usage returns a snapshot of the ledger. The categories are read
@@ -84,8 +91,9 @@ func (a *Accountant) Usage() Usage {
 		CandBytes:  a.cand.Load(),
 		IndexBytes: a.index.Load(),
 		DeltaBytes: a.delta.Load(),
+		EdgeBytes:  a.edge.Load(),
 	}
-	u.Total = u.BaseBytes + u.CandBytes + u.IndexBytes + u.DeltaBytes
+	u.Total = u.BaseBytes + u.CandBytes + u.IndexBytes + u.DeltaBytes + u.EdgeBytes
 	return u
 }
 
